@@ -1,0 +1,74 @@
+// Command seaweed-model regenerates the analytical results of the paper's
+// Section 4.2: Table 1 (model parameters), Table 2 (PIER tuple
+// availability), Figure 3 (maintenance-overhead scalability of the four
+// architectures) and Figure 4 (the small-data variant).
+//
+// Usage:
+//
+//	seaweed-model                 # print everything
+//	seaweed-model -table 2        # one table
+//	seaweed-model -fig 3b         # one figure panel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1 or 2)")
+	fig := flag.String("fig", "", "print only this figure panel (3a, 3b, 3c, 3d, 4a, 4b, 4c, 4d)")
+	flag.Parse()
+
+	w := os.Stdout
+	switch {
+	case *table == 1:
+		experiments.Table1(w)
+	case *table == 2:
+		experiments.Table2().Render(w)
+	case *fig != "":
+		base := model.PaperDefaults()
+		small := experiments.Fig4()
+		switch *fig {
+		case "3a":
+			experiments.Fig3a(base).Render(w)
+		case "3b":
+			experiments.Fig3b(base).Render(w)
+		case "3c":
+			experiments.Fig3c(base).Render(w)
+		case "3d":
+			experiments.Fig3d(base).Render(w)
+		case "4a":
+			small[0].Render(w)
+		case "4b":
+			small[1].Render(w)
+		case "4c":
+			small[2].Render(w)
+		case "4d":
+			small[3].Render(w)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+	default:
+		experiments.Table1(w)
+		fmt.Fprintln(w)
+		experiments.Table2().Render(w)
+		base := model.PaperDefaults()
+		for _, r := range []*experiments.SweepResult{
+			experiments.Fig3a(base), experiments.Fig3b(base),
+			experiments.Fig3c(base), experiments.Fig3d(base),
+		} {
+			fmt.Fprintln(w)
+			r.Render(w)
+		}
+		for _, r := range experiments.Fig4() {
+			fmt.Fprintln(w)
+			r.Render(w)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command seaweed-sim regenerates the paper's simulation results: the
+// example completeness predictor (Figure 2), the completeness-prediction
+// experiments (Figures 5–8), the packet-level overhead experiments
+// (Figures 9 and 10), and the ablation studies of DESIGN.md.
+//
+// Usage:
+//
+//	seaweed-sim -fig 5            # one figure
+//	seaweed-sim -fig 9d -full     # paper-scale (slow)
+//	seaweed-sim -ablation arity   # one ablation study
+//	seaweed-sim -all              # every simulation figure at quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 2, 5, 6, 7, 8, 9a, 9b, 9c, 9d, 10")
+	ablation := flag.String("ablation", "", "ablation to run: arity, predictor, histogram, push, replicas, deltapush")
+	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
+	all := flag.Bool("all", false, "run every simulation figure")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	s := experiments.QuickScale()
+	if *full {
+		s = experiments.FullScale()
+	}
+	s.Seed = *seed
+	w := os.Stdout
+
+	runFig := func(name string) {
+		start := time.Now()
+		switch name {
+		case "2":
+			experiments.Fig2(s).Render(w)
+		case "5", "6", "7", "8":
+			qi := int(name[0] - '5')
+			experiments.RunCompletenessFigure(s, qi).Render(w)
+		case "9a":
+			experiments.Fig9a(s).Render(w)
+		case "9b":
+			experiments.Fig9b(s).Render(w)
+		case "9c":
+			experiments.Fig9c(s, []int64{11, 22, 33, 44, 55}).Render(w)
+		case "9d":
+			sizes := []int{250, 500, 1000, 2000}
+			if *full {
+				sizes = []int{2000, 4000, 8000, 16000}
+			}
+			experiments.WriteFig9d(w, experiments.Fig9d(s, sizes))
+		case "10":
+			experiments.Fig10(s).Render(w)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(w, "# (figure %s computed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch {
+	case *ablation != "":
+		switch *ablation {
+		case "arity":
+			experiments.AblationDissemArity(s, []int{2, 4, 16}).Render(w)
+		case "predictor":
+			experiments.AblationPredictorMode(s).Render(w)
+		case "histogram":
+			experiments.AblationHistogram(s).Render(w)
+		case "push":
+			experiments.AblationPushPeriod(s, []time.Duration{
+				30 * time.Second, 5 * time.Minute, 17*time.Minute + 30*time.Second, time.Hour,
+			}).Render(w)
+		case "replicas":
+			experiments.AblationVertexReplicas(s, []int{0, 1, 3, 5}).Render(w)
+		case "deltapush":
+			experiments.AblationDeltaPush(s).Render(w)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *ablation)
+			os.Exit(2)
+		}
+	case *all:
+		for _, name := range []string{"2", "5", "6", "7", "8", "9a", "9b", "9c", "9d", "10"} {
+			runFig(name)
+		}
+	case *fig != "":
+		runFig(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,63 @@
+// Command seaweed-trace generates and inspects the synthetic availability
+// traces (Figure 1 and the calibration numbers the models take from the
+// Farsite and Gnutella studies).
+//
+// Usage:
+//
+//	seaweed-trace -fig 1                    # hourly availability series
+//	seaweed-trace -kind gnutella -stats     # calibration statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1)")
+	kind := flag.String("kind", "farsite", "trace kind: farsite or gnutella")
+	n := flag.Int("n", 5000, "number of endsystems")
+	hours := flag.Int("hours", int(4*avail.Week/time.Hour), "trace horizon in hours")
+	seed := flag.Int64("seed", 1, "random seed")
+	statsOnly := flag.Bool("stats", false, "print only the calibration statistics")
+	flag.Parse()
+
+	horizon := time.Duration(*hours) * time.Hour
+	var trace *avail.Trace
+	switch *kind {
+	case "farsite":
+		trace = avail.GenerateFarsite(avail.DefaultFarsiteConfig(*n, horizon, *seed))
+	case "gnutella":
+		trace = avail.GenerateGnutella(avail.DefaultGnutellaConfig(*n, horizon, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	st := trace.ComputeStats()
+	fmt.Printf("# %s trace: %d endsystems over %v\n", *kind, *n, horizon)
+	fmt.Printf("# mean availability        %.4f\n", st.MeanAvailability)
+	fmt.Printf("# departures/online-second %.4g\n", st.DeparturesPerOnlineSecond)
+	fmt.Printf("# churn per endsystem-sec  %.4g\n", st.ChurnPerEndsystemSecond)
+	fmt.Printf("# mean session             %v\n", st.MeanSession.Round(time.Minute))
+	if *statsOnly {
+		return
+	}
+
+	if *fig == 1 {
+		s := experiments.QuickScale()
+		s.CompletenessN = *n
+		s.Horizon = horizon
+		s.Seed = *seed
+		experiments.Fig1(s).Render(os.Stdout)
+		return
+	}
+	for h, f := range trace.HourlySeries() {
+		fmt.Printf("%d\t%.4f\n", h, f)
+	}
+}

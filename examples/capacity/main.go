@@ -1,0 +1,79 @@
+// Capacity planning with the analytical models: given a deployment's
+// size, churn and data rates, compare the background maintenance bandwidth
+// of the four architectures of the paper's Section 4.2 and find the update
+// rate at which Seaweed overtakes a centralized warehouse.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+
+	seaweed "repro"
+)
+
+func main() {
+	designs := []seaweed.Design{
+		seaweed.DesignCentralized,
+		seaweed.DesignSeaweed,
+		seaweed.DesignDHTReplicated,
+		seaweed.DesignPIER,
+		seaweed.DesignPIERSlow,
+	}
+
+	scenarios := []struct {
+		name   string
+		adjust func(*seaweed.ModelParams)
+	}{
+		{"paper defaults (300k endsystems, Anemone rates)", func(*seaweed.ModelParams) {}},
+		{"small data center (5k endsystems)", func(p *seaweed.ModelParams) {
+			p.N = 5_000
+		}},
+		{"internet scale (10M endsystems, p2p churn)", func(p *seaweed.ModelParams) {
+			p.N = 10_000_000
+			p.C = 9.3e-5
+			p.FOn = 0.35
+		}},
+		{"chatty telemetry (100 kB/s per endsystem)", func(p *seaweed.ModelParams) {
+			p.U = 100_000
+		}},
+	}
+
+	for _, sc := range scenarios {
+		p := seaweed.PaperModelParams()
+		sc.adjust(&p)
+		fmt.Printf("\n── %s ──\n", sc.name)
+		fmt.Printf("%-18s %14s %16s\n", "design", "systemwide", "per endsystem")
+		for _, d := range designs {
+			total := seaweed.MaintenanceOverhead(d, p)
+			fmt.Printf("%-18s %12s/s %14s/s\n", d, human(total), human(total/p.N))
+		}
+	}
+
+	// Where does Seaweed start beating the warehouse? Walk u upward.
+	p := seaweed.PaperModelParams()
+	for u := 1.0; u < 1e7; u *= 1.2 {
+		p.U = u
+		if seaweed.MaintenanceOverhead(seaweed.DesignSeaweed, p) <
+			seaweed.MaintenanceOverhead(seaweed.DesignCentralized, p) {
+			fmt.Printf("\nSeaweed overtakes the centralized warehouse once endsystems "+
+				"generate more than ≈%s/s of new data each.\n", human(u))
+			break
+		}
+	}
+}
+
+func human(bps float64) string {
+	switch {
+	case bps >= 1e12:
+		return fmt.Sprintf("%.1f TB", bps/1e12)
+	case bps >= 1e9:
+		return fmt.Sprintf("%.1f GB", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1f MB", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f kB", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", bps)
+	}
+}

@@ -1,0 +1,162 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveAndFinal(t *testing.T) {
+	var p Partial
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		p.Observe(v)
+	}
+	if got := p.Final(Count); got != 5 {
+		t.Errorf("COUNT = %v", got)
+	}
+	if got := p.Final(Sum); got != 14 {
+		t.Errorf("SUM = %v", got)
+	}
+	if got := p.Final(Avg); got != 2.8 {
+		t.Errorf("AVG = %v", got)
+	}
+	if got := p.Final(Min); got != 1 {
+		t.Errorf("MIN = %v", got)
+	}
+	if got := p.Final(Max); got != 5 {
+		t.Errorf("MAX = %v", got)
+	}
+}
+
+func TestEmptyPartialFinals(t *testing.T) {
+	var p Partial
+	if p.Final(Count) != 0 || p.Final(Sum) != 0 {
+		t.Error("empty COUNT/SUM must be 0")
+	}
+	for _, k := range []Kind{Avg, Min, Max} {
+		if !math.IsNaN(p.Final(k)) {
+			t.Errorf("empty %v must be NaN", k)
+		}
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	var p Partial
+	p.Observe(7)
+	p.Observe(-2)
+	if got := p.Merge(Partial{}); got != p {
+		t.Errorf("merge with zero changed partial: %+v", got)
+	}
+	if got := (Partial{}).Merge(p); got != p {
+		t.Errorf("zero merged with partial: %+v", got)
+	}
+}
+
+func TestMergeEqualsSingleStream(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var pa, pb, all Partial
+		for _, v := range a {
+			pa.Observe(v)
+			all.Observe(v)
+		}
+		for _, v := range b {
+			pb.Observe(v)
+			all.Observe(v)
+		}
+		m := pa.Merge(pb)
+		if m.Count != all.Count || m.HasBound != all.HasBound {
+			return false
+		}
+		if math.Abs(m.Sum-all.Sum) > 1e-9*(1+math.Abs(all.Sum)) {
+			return false
+		}
+		if all.HasBound && (m.MinV != all.MinV || m.MaxV != all.MaxV) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var pa, pb Partial
+		for _, v := range a {
+			pa.Observe(math.Mod(v, 1e12))
+		}
+		for _, v := range b {
+			pb.Observe(math.Mod(v, 1e12))
+		}
+		return pa.Merge(pb) == pb.Merge(pa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	// Values are folded into a bounded range: the domain is byte and packet
+	// counts, and unbounded float64 quick inputs only exercise catastrophic
+	// cancellation at 1e308, which no tolerance survives.
+	f := func(a, b, c []float64) bool {
+		mk := func(vs []float64) Partial {
+			var p Partial
+			for _, v := range vs {
+				p.Observe(math.Mod(v, 1e12))
+			}
+			return p
+		}
+		pa, pb, pc := mk(a), mk(b), mk(c)
+		l := pa.Merge(pb).Merge(pc)
+		r := pa.Merge(pb.Merge(pc))
+		return l.Count == r.Count && math.Abs(l.Sum-r.Sum) < 1e-9*(1+math.Abs(l.Sum)) &&
+			l.HasBound == r.HasBound && l.MinV == r.MinV && l.MaxV == r.MaxV
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(count int64, sum, mn, mx float64, bound bool) bool {
+		p := Partial{Count: count, Sum: sum, MinV: mn, MaxV: mx, HasBound: bound}
+		got, rest, err := DecodePartial(p.Encode(nil))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		// NaNs don't compare equal; compare bit patterns via encode.
+		return string(got.Encode(nil)) == string(p.Encode(nil))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := DecodePartial(make([]byte, 10)); err == nil {
+		t.Error("short buffer must fail")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{Count, Sum, Avg, Min, Max} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip of %v failed: %v %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("MEDIAN"); err == nil {
+		t.Error("unknown aggregate must fail")
+	}
+}
+
+func TestObserveRowCountsOnly(t *testing.T) {
+	var p Partial
+	p.ObserveRow()
+	p.ObserveRow()
+	if p.Count != 2 || p.Sum != 0 || p.HasBound {
+		t.Errorf("ObserveRow: %+v", p)
+	}
+}

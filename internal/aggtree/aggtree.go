@@ -1,0 +1,669 @@
+// Package aggtree implements Seaweed's failure-resilient result
+// aggregation tree (§3.4). While completeness predictors are generated in
+// seconds, incremental result generation spans hours: endsystems submit
+// results as they become available, and each contribution must be counted
+// exactly once in the result at the root despite churn.
+//
+// The tree is embedded in the Pastry namespace, one tree per queryId. A
+// tree vertex is a key (vertexId); the deterministic parent function
+//
+//	V(queryId, vertexId) = PREFIX(vertexId, 128/b-(len+1)) + SUFFIX(queryId, len+1)
+//
+// with len the number of digits vertexId already shares with queryId at
+// the suffix end, replaces one more low-order digit with the queryId's, so
+// repeated application converges to the queryId itself at the root. An
+// endsystem submitting a result applies V starting from its own
+// endsystemId until it reaches a vertexId it is no longer the numerically
+// closest endsystem to; because the namespace is sparsely populated, this
+// skips the many levels where the endsystem would be its own parent and
+// yields a tree with N leaves and O(log N) depth.
+//
+// Each interior vertex keeps O(1) state — the latest versioned
+// contribution per child — and is realized as a replica group: the primary
+// is whatever endsystem is currently numerically closest to the vertexId
+// (so Pastry routing always finds it), and it replicates its state to m
+// backups before propagating a new aggregate to its parent. When
+// membership changes move a vertexId's root, the new primary takes over
+// from the replicated state. Versioned, keyed contributions make
+// retransmissions and primary handovers idempotent: at-least-once delivery
+// plus at-most-once counting.
+package aggtree
+
+import (
+	"fmt"
+
+	"sort"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/ids"
+	"repro/internal/pastry"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes the aggregation trees.
+type Config struct {
+	// Backups is m, the number of state replicas each vertex primary
+	// maintains (paper simulation: m=3).
+	Backups int
+	// RefreshPeriod is how often a vertex primary re-propagates its
+	// aggregate and state (repairing any losses from churn). 0 disables.
+	RefreshPeriod time.Duration
+	// B is the digit width of the namespace (must match the overlay).
+	B int
+	// QueryTTL is how long a query stays active after an endsystem first
+	// learns of it: expired queries drop their tree state and stop being
+	// advertised to joiners ("incremental results will thus continue to
+	// arrive for any query until it times out or is explicitly
+	// canceled"). The paper terminates its evaluation queries after 48
+	// hours. 0 disables expiry.
+	QueryTTL time.Duration
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{Backups: 3, RefreshPeriod: 5 * time.Minute, B: 4, QueryTTL: 48 * time.Hour}
+}
+
+// Host is the embedding Seaweed node.
+type Host interface {
+	// PastryNode returns the overlay node the engine runs on.
+	PastryNode() *pastry.Node
+	// ResultDelivered is called at the query's injector whenever the root
+	// aggregate changes: the current incremental result and the number of
+	// endsystems that have contributed.
+	ResultDelivered(qid ids.ID, part agg.Partial, contributors int64)
+}
+
+// V computes the parent vertexId: one more low-order digit of vertexId is
+// replaced by the queryId's, growing the shared suffix. V(q, v) == q once
+// v == q.
+func V(queryID, vertexID ids.ID, b int) ids.ID {
+	digits := ids.DigitsPerID(b)
+	l := ids.CommonSuffixLen(queryID, vertexID, b)
+	if l >= digits {
+		return queryID
+	}
+	return ids.ConcatPrefixSuffix(vertexID, digits-(l+1), queryID, l+1, b)
+}
+
+// contribution is one child's latest versioned input to a vertex.
+type contribution struct {
+	Version      uint64
+	Part         agg.Partial
+	Contributors int64
+}
+
+// vertexKey identifies a vertex instance.
+type vertexKey struct {
+	qid    ids.ID
+	vertex ids.ID
+}
+
+// vertexState is the O(1)-per-child state of one tree vertex.
+type vertexState struct {
+	key       vertexKey
+	children  map[ids.ID]contribution
+	upVersion uint64
+	refresh   *simnet.Timer
+	primary   bool
+	// dirty marks state changes not yet propagated upward; the periodic
+	// refresh only re-propagates dirty vertices (plus a rare safety pass)
+	// so an idle query costs almost nothing.
+	dirty bool
+}
+
+func (v *vertexState) aggregate() (agg.Partial, int64) {
+	var part agg.Partial
+	var contributors int64
+	for _, c := range v.children {
+		part = part.Merge(c.Part)
+		contributors += c.Contributors
+	}
+	return part, contributors
+}
+
+// queryInfo is what the engine needs to know about an active query.
+type queryInfo struct {
+	query     *relq.Query
+	injector  simnet.Endpoint
+	firstSeen time.Duration
+	canceled  bool
+}
+
+// Engine runs the aggregation protocol for one endsystem.
+type Engine struct {
+	cfg      Config
+	host     Host
+	vertices map[vertexKey]*vertexState
+	queries  map[ids.ID]*queryInfo
+	// submitted records this endsystem's own latest contribution per
+	// query; it persists across restarts so re-submissions replace rather
+	// than duplicate (version continuity).
+	submitted map[ids.ID]*contribution
+	// entryVertex persists, per query, the vertexId this endsystem first
+	// submitted to — the paper's "persists that vertexId with the query".
+	// Re-submissions after churn go to the same vertex, which is what
+	// keeps each endsystem's contribution counted exactly once even when
+	// leafset changes would now suggest a different entry point.
+	entryVertex map[ids.ID]ids.ID
+}
+
+// NewEngine creates an engine for the host.
+func NewEngine(host Host, cfg Config) *Engine {
+	if cfg.B == 0 {
+		cfg.B = 4
+	}
+	return &Engine{
+		cfg:         cfg,
+		host:        host,
+		vertices:    make(map[vertexKey]*vertexState),
+		queries:     make(map[ids.ID]*queryInfo),
+		submitted:   make(map[ids.ID]*contribution),
+		entryVertex: make(map[ids.ID]ids.ID),
+	}
+}
+
+// Reset clears the volatile state (the endsystem restarted). Hosted
+// vertex state is dropped — the exactly-once argument only needs the
+// replica group to survive — but this endsystem's own submission record
+// and its persisted entry vertexIds are durable, exactly as the paper
+// prescribes: a rejoining endsystem re-submits the same versioned
+// contribution to the same vertex, replacing rather than duplicating.
+func (e *Engine) Reset() {
+	for _, v := range e.vertices {
+		if v.refresh != nil {
+			v.refresh.Cancel()
+		}
+	}
+	e.vertices = make(map[vertexKey]*vertexState)
+	e.queries = make(map[ids.ID]*queryInfo)
+}
+
+// RegisterQuery tells the engine about an active query (from the
+// dissemination layer). The injector endpoint is where root results go.
+func (e *Engine) RegisterQuery(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
+	if _, ok := e.queries[qid]; !ok {
+		e.queries[qid] = &queryInfo{query: q, injector: injector,
+			firstSeen: e.host.PastryNode().Ring().Scheduler().Now()}
+	}
+}
+
+// Cancel marks a query canceled at this endsystem: its tree state is
+// dropped and it is no longer advertised or refreshed.
+func (e *Engine) Cancel(qid ids.ID) {
+	if info, ok := e.queries[qid]; ok {
+		info.canceled = true
+	}
+	for key, v := range e.vertices {
+		if key.qid == qid {
+			if v.refresh != nil {
+				v.refresh.Cancel()
+			}
+			delete(e.vertices, key)
+		}
+	}
+}
+
+// expired reports whether a query is past its TTL or canceled.
+func (e *Engine) expired(info *queryInfo) bool {
+	if info == nil {
+		return true
+	}
+	if info.canceled {
+		return true
+	}
+	if e.cfg.QueryTTL <= 0 {
+		return false
+	}
+	now := e.host.PastryNode().Ring().Scheduler().Now()
+	return now-info.firstSeen > e.cfg.QueryTTL
+}
+
+// ActiveQueries returns the live (non-expired, non-canceled) queries the
+// engine knows about, for handing to endsystems that join while queries
+// are in flight.
+func (e *Engine) ActiveQueries() map[ids.ID]*relq.Query {
+	out := make(map[ids.ID]*relq.Query, len(e.queries))
+	for qid, info := range e.queries {
+		if !e.expired(info) {
+			out[qid] = info.query
+		}
+	}
+	return out
+}
+
+// IsActive reports whether the query is known, unexpired and uncanceled.
+func (e *Engine) IsActive(qid ids.ID) bool {
+	info, ok := e.queries[qid]
+	return ok && !e.expired(info)
+}
+
+// Injector returns the injector endpoint recorded for a query.
+func (e *Engine) Injector(qid ids.ID) (simnet.Endpoint, bool) {
+	info, ok := e.queries[qid]
+	if !ok {
+		return 0, false
+	}
+	return info.injector, true
+}
+
+// --------------------------------------------------------------- messages
+
+// submitMsg carries a child contribution to a vertex; routed by key, so it
+// always reaches the vertex's current primary.
+type submitMsg struct {
+	QID    ids.ID
+	Vertex ids.ID
+	Child  ids.ID
+	C      contribution
+	// Injector lets a vertex learn the query's home when it first hears
+	// of the query through the tree rather than through dissemination.
+	Injector simnet.Endpoint
+	Query    *relq.Query
+}
+
+func submitMsgSize() int { return 3*ids.Bytes + 8 + agg.EncodedPartialSize + 8 }
+
+// replMsg replicates a vertex's state to its backups.
+type replMsg struct {
+	QID       ids.ID
+	Vertex    ids.ID
+	Children  map[ids.ID]contribution
+	UpVersion uint64
+	Injector  simnet.Endpoint
+	Query     *relq.Query
+}
+
+func replMsgSize(children int) int {
+	return 2*ids.Bytes + 8 + children*(ids.Bytes+8+agg.EncodedPartialSize+8)
+}
+
+// resultMsg delivers the root aggregate to the injector.
+type resultMsg struct {
+	QID          ids.ID
+	Part         agg.Partial
+	Contributors int64
+}
+
+func resultMsgSize() int { return ids.Bytes + agg.EncodedPartialSize + 8 }
+
+// --------------------------------------------------------------- protocol
+
+// Submit contributes this endsystem's local result for a query. It may be
+// called again with an updated partial (e.g. after a local data change);
+// the new version replaces the old exactly once.
+func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector simnet.Endpoint) {
+	e.RegisterQuery(qid, q, injector)
+	prev := e.submitted[qid]
+	version := uint64(1)
+	if prev != nil {
+		version = prev.Version + 1
+	}
+	c := &contribution{Version: version, Part: part, Contributors: 1}
+	e.submitted[qid] = c
+	e.sendSubmission(qid, *c)
+}
+
+// sendSubmission routes this endsystem's contribution to its entry vertex:
+// on first submission, the first vertex on the V-chain from its own
+// endsystemId that it is not the root of; afterwards, the persisted entry
+// vertexId, so that re-submissions (including after a restart) land on the
+// same vertex and replace the previous version.
+func (e *Engine) sendSubmission(qid ids.ID, c contribution) {
+	node := e.host.PastryNode()
+	info := e.queries[qid]
+	v, ok := e.entryVertex[qid]
+	if !ok {
+		v = node.ID()
+		digits := ids.DigitsPerID(e.cfg.B)
+		for i := 0; i <= digits && v != qid; i++ {
+			if !node.IsRootOf(v) {
+				break
+			}
+			v = V(qid, v, e.cfg.B)
+		}
+		e.entryVertex[qid] = v
+	}
+	msg := &submitMsg{QID: qid, Vertex: v, Child: node.ID(), C: c,
+		Injector: info.injector, Query: info.query}
+	if node.IsRootOf(v) {
+		// This endsystem hosts the vertex itself (it is the root of the
+		// whole chain up to the queryId).
+		e.applySubmit(msg)
+		return
+	}
+	node.Route(v, msg, submitMsgSize(), simnet.ClassQuery)
+}
+
+// HandleMessage processes an aggregation message; it reports whether the
+// payload belonged to this engine.
+func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
+	switch m := payload.(type) {
+	case *submitMsg:
+		e.applySubmit(m)
+	case *replMsg:
+		e.applyRepl(m)
+	case *resultMsg:
+		e.host.ResultDelivered(m.QID, m.Part, m.Contributors)
+	default:
+		return false
+	}
+	return true
+}
+
+// applySubmit folds a child contribution into the vertex hosted here.
+// Contributions for expired or canceled queries are dropped.
+func (e *Engine) applySubmit(m *submitMsg) {
+	e.RegisterQuery(m.QID, m.Query, m.Injector)
+	if e.expired(e.queries[m.QID]) {
+		return
+	}
+	key := vertexKey{qid: m.QID, vertex: m.Vertex}
+	v, ok := e.vertices[key]
+	if !ok {
+		v = &vertexState{key: key, children: make(map[ids.ID]contribution)}
+		e.vertices[key] = v
+		e.armRefresh(v)
+	}
+	v.primary = true
+	cur, exists := v.children[m.Child]
+	if exists && cur.Version >= m.C.Version {
+		// Stale or duplicate: counted at most once.
+		return
+	}
+	v.children[m.Child] = m.C
+	// A version advance with identical content is a refresh re-assertion:
+	// record it but do not cascade it any further up the tree.
+	if exists && cur.Part == m.C.Part && cur.Contributors == m.C.Contributors {
+		return
+	}
+	v.dirty = true
+	e.replicateDelta(v, m.Child)
+	e.forwardUp(v)
+}
+
+// applyRepl installs replicated vertex state at a backup. Versions protect
+// against stale replication overwriting newer local state (e.g. when this
+// backup has already taken over as primary).
+func (e *Engine) applyRepl(m *replMsg) {
+	e.RegisterQuery(m.QID, m.Query, m.Injector)
+	key := vertexKey{qid: m.QID, vertex: m.Vertex}
+	v, ok := e.vertices[key]
+	if !ok {
+		v = &vertexState{key: key, children: make(map[ids.ID]contribution)}
+		e.vertices[key] = v
+		e.armRefresh(v)
+	}
+	changed := false
+	for child, c := range m.Children {
+		cur, exists := v.children[child]
+		if !exists || c.Version > cur.Version {
+			v.children[child] = c
+			if !exists || cur.Part != c.Part || cur.Contributors != c.Contributors {
+				changed = true
+				v.dirty = true
+			}
+		}
+	}
+	if m.UpVersion > v.upVersion {
+		v.upVersion = m.UpVersion
+	}
+	// If routing says this node is now the vertex's root (the replication
+	// arrived precisely because the role moved here), act as primary
+	// immediately rather than waiting for a refresh tick — but only when
+	// the replication actually advanced local state. Propagating on
+	// no-op replications would ping-pong forever between two nodes that
+	// transiently both believe they are the vertex's root.
+	if e.host.PastryNode().IsRootOf(m.Vertex) {
+		v.primary = true
+		if changed {
+			// Taking over with fresh state: push the new aggregate up. The
+			// backups already hold the state we just received.
+			e.forwardUp(v)
+		}
+	} else {
+		v.primary = false
+	}
+}
+
+// propagate replicates the vertex's full state to its backups and forwards
+// the aggregate to the parent (takeovers and membership changes).
+func (e *Engine) propagate(v *vertexState) {
+	e.replicateState(v)
+	e.forwardUp(v)
+}
+
+// replicateDelta replicates just one changed child entry to the backups —
+// the paper's primary replicates its state before transmitting to the
+// parent, and on the common update path only one child changed.
+func (e *Engine) replicateDelta(v *vertexState, child ids.ID) {
+	node := e.host.PastryNode()
+	info := e.queries[v.key.qid]
+	if info == nil {
+		return
+	}
+	c, ok := v.children[child]
+	if !ok {
+		return
+	}
+	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
+		Children: map[ids.ID]contribution{child: c}, UpVersion: v.upVersion,
+		Injector: info.injector, Query: info.query}
+	size := replMsgSize(1)
+	for _, b := range e.backupSet(v.key.vertex) {
+		node.Ring().Network().Send(node.Endpoint(), b.EP, size, simnet.ClassQuery, msg)
+	}
+}
+
+// forwardUp sends the vertex's current aggregate to its parent vertex (or
+// the injector, at the root).
+func (e *Engine) forwardUp(v *vertexState) {
+	node := e.host.PastryNode()
+	info := e.queries[v.key.qid]
+	if info == nil {
+		return
+	}
+	part, contributors := v.aggregate()
+	v.dirty = false
+	v.upVersion++
+	if v.key.vertex == v.key.qid {
+		// Root: deliver the incremental result to the injector.
+		node.Ring().Network().Send(node.Endpoint(), info.injector,
+			resultMsgSize(), simnet.ClassQuery,
+			&resultMsg{QID: v.key.qid, Part: part, Contributors: contributors})
+		return
+	}
+	parent := V(v.key.qid, v.key.vertex, e.cfg.B)
+	msg := &submitMsg{QID: v.key.qid, Vertex: parent, Child: v.key.vertex,
+		C:        contribution{Version: v.upVersion, Part: part, Contributors: contributors},
+		Injector: info.injector, Query: info.query}
+	if node.IsRootOf(parent) {
+		e.applySubmit(msg)
+		return
+	}
+	node.Route(parent, msg, submitMsgSize(), simnet.ClassQuery)
+}
+
+// backupSet picks the m leafset members closest to the vertexId.
+func (e *Engine) backupSet(vertex ids.ID) []pastry.NodeRef {
+	node := e.host.PastryNode()
+	cands := node.Leafset()
+	sort.Slice(cands, func(i, j int) bool {
+		return vertex.AbsDistance(cands[i].ID).Less(vertex.AbsDistance(cands[j].ID))
+	})
+	if len(cands) > e.cfg.Backups {
+		cands = cands[:e.cfg.Backups]
+	}
+	return cands
+}
+
+// armRefresh schedules periodic re-propagation for a vertex. Ordinarily a
+// tick is a no-op: it re-propagates only state that changed without
+// reaching the parent (a lost message). Every sixth tick re-propagates
+// unconditionally as a safety net against losses the dirty flag cannot
+// see (e.g. the parent's replica group lost the aggregate wholesale).
+func (e *Engine) armRefresh(v *vertexState) {
+	if e.cfg.RefreshPeriod <= 0 {
+		return
+	}
+	node := e.host.PastryNode()
+	tick := 0
+	v.refresh = node.Ring().Scheduler().Every(e.cfg.RefreshPeriod, func() {
+		if !node.Alive() {
+			return
+		}
+		if cur, ok := e.vertices[v.key]; !ok || cur != v {
+			v.refresh.Cancel()
+			return
+		}
+		tick++
+		if e.expired(e.queries[v.key.qid]) {
+			// The query timed out (or was canceled): reclaim the vertex.
+			v.refresh.Cancel()
+			delete(e.vertices, v.key)
+			return
+		}
+		if !node.IsRootOf(v.key.vertex) || len(v.children) == 0 {
+			return
+		}
+		v.primary = true
+		if v.dirty || tick%6 == 0 {
+			// Re-assert the aggregate upward; replication to backups is
+			// handled by the update and membership-change paths.
+			e.forwardUp(v)
+		}
+	})
+}
+
+// HandleLeafsetChanged reacts to churn: any vertex whose primary role just
+// arrived at this node (the previous primary died or the namespace
+// shifted) re-propagates from the replicated state.
+func (e *Engine) HandleLeafsetChanged() {
+	node := e.host.PastryNode()
+	if !node.Alive() {
+		return
+	}
+	for _, v := range e.sortedVertices() {
+		if len(v.children) == 0 {
+			continue
+		}
+		isRoot := node.IsRootOf(v.key.vertex)
+		switch {
+		case !v.primary && isRoot:
+			// Take over: the previous primary died or the namespace
+			// shifted toward us.
+			v.primary = true
+			e.propagate(v)
+		case !isRoot:
+			// Membership moved around this vertex while someone else is
+			// (or should become) its primary. Push our copy of the state
+			// toward the vertexId's current root: if the old primary died
+			// and the new root is not one of its backups, this is the
+			// only path by which the state reaches it.
+			v.primary = false
+			e.pushStateToRoot(v)
+		default: // primary && isRoot
+			// Membership changed around us: refresh the backups.
+			e.replicateToBackups(v)
+		}
+	}
+}
+
+// replicateState pushes the vertex's full state to the backups and, if
+// this node is not the vertex's root, toward the current root.
+func (e *Engine) replicateState(v *vertexState) {
+	e.replicateToBackups(v)
+	if !e.host.PastryNode().IsRootOf(v.key.vertex) {
+		e.pushStateToRoot(v)
+	}
+}
+
+// replicateToBackups sends the vertex's full children table to the m
+// leafset members closest to the vertexId.
+func (e *Engine) replicateToBackups(v *vertexState) {
+	node := e.host.PastryNode()
+	info := e.queries[v.key.qid]
+	if info == nil {
+		return
+	}
+	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
+		Children: cloneChildren(v.children), UpVersion: v.upVersion,
+		Injector: info.injector, Query: info.query}
+	size := replMsgSize(len(v.children))
+	for _, b := range e.backupSet(v.key.vertex) {
+		node.Ring().Network().Send(node.Endpoint(), b.EP, size, simnet.ClassQuery, msg)
+	}
+}
+
+// pushStateToRoot routes the vertex's full state to whichever endsystem is
+// currently numerically closest to the vertexId.
+func (e *Engine) pushStateToRoot(v *vertexState) {
+	node := e.host.PastryNode()
+	info := e.queries[v.key.qid]
+	if info == nil {
+		return
+	}
+	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
+		Children: cloneChildren(v.children), UpVersion: v.upVersion,
+		Injector: info.injector, Query: info.query}
+	node.Route(v.key.vertex, msg, replMsgSize(len(v.children)), simnet.ClassQuery)
+}
+
+// sortedVertices returns the vertex states in key order, keeping the
+// simulation deterministic where map iteration would otherwise change
+// message order between runs.
+func (e *Engine) sortedVertices() []*vertexState {
+	out := make([]*vertexState, 0, len(e.vertices))
+	for _, v := range e.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.qid != out[j].key.qid {
+			return out[i].key.qid.Less(out[j].key.qid)
+		}
+		return out[i].key.vertex.Less(out[j].key.vertex)
+	})
+	return out
+}
+
+// NumVertices reports how many vertex states this endsystem holds.
+func (e *Engine) NumVertices() int { return len(e.vertices) }
+
+func cloneChildren(m map[ids.ID]contribution) map[ids.ID]contribution {
+	out := make(map[ids.ID]contribution, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// DebugString summarizes this engine's vertex states for one query (test
+// instrumentation).
+func (e *Engine) DebugString(qid ids.ID) string {
+	out := ""
+	for key, v := range e.vertices {
+		if key.qid != qid {
+			continue
+		}
+		part, contribs := v.aggregate()
+		out += fmt.Sprintf("[v=%s children=%d contribs=%d rows=%d primary=%v dirty=%v] ",
+			key.vertex.Short(), len(v.children), contribs, part.Count, v.primary, v.dirty)
+	}
+	return out
+}
+
+// DebugFull is DebugString with full vertex ids (test instrumentation).
+func (e *Engine) DebugFull(qid ids.ID) string {
+	out := ""
+	for key, v := range e.vertices {
+		if key.qid != qid {
+			continue
+		}
+		_, contribs := v.aggregate()
+		out += fmt.Sprintf("[v=%s eq-qid=%v children=%d contribs=%d primary=%v] ",
+			key.vertex, key.vertex == qid, len(v.children), contribs, v.primary)
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package aggtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/ids"
+	"repro/internal/pastry"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+func TestVConvergesToQueryID(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		qid := ids.Random(rng)
+		v := ids.Random(rng)
+		steps := 0
+		for v != qid {
+			nv := V(qid, v, 4)
+			if nv == v {
+				t.Fatalf("V stuck at %v for qid %v", v, qid)
+			}
+			v = nv
+			steps++
+			if steps > 32 {
+				t.Fatalf("V did not converge within 32 steps")
+			}
+		}
+	}
+}
+
+func TestVGrowsSuffixByOne(t *testing.T) {
+	f := func(qHi, qLo, vHi, vLo uint64) bool {
+		qid := ids.ID{Hi: qHi, Lo: qLo}
+		v := ids.ID{Hi: vHi, Lo: vLo}
+		if qid == v {
+			return V(qid, v, 4) == qid
+		}
+		before := ids.CommonSuffixLen(qid, v, 4)
+		after := ids.CommonSuffixLen(qid, V(qid, v, 4), 4)
+		return after >= before+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVRootIsQueryID(t *testing.T) {
+	qid := ids.MustParse("0123456789abcdef0123456789abcdef")
+	if V(qid, qid, 4) != qid {
+		t.Fatal("V(q, q) must be q")
+	}
+}
+
+// ------------------------------------------------------------- harness
+
+type testHost struct {
+	node    *pastry.Node
+	engine  *Engine
+	results []resultEvent
+}
+
+type resultEvent struct {
+	part         agg.Partial
+	contributors int64
+}
+
+func (h *testHost) PastryNode() *pastry.Node { return h.node }
+
+func (h *testHost) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64) {
+	h.results = append(h.results, resultEvent{part, contributors})
+}
+
+func (h *testHost) Deliver(key ids.ID, from simnet.Endpoint, payload any) {
+	h.engine.HandleMessage(from, payload)
+}
+
+func (h *testHost) LeafsetChanged() {
+	if h.engine != nil {
+		h.engine.HandleLeafsetChanged()
+	}
+}
+
+type cluster struct {
+	sched *simnet.Scheduler
+	ring  *pastry.Ring
+	hosts []*testHost
+}
+
+func newCluster(t *testing.T, n int, seed int64, cfg Config) *cluster {
+	t.Helper()
+	c := &cluster{sched: simnet.NewScheduler()}
+	topo := simnet.UniformTopology(4, 10*time.Millisecond, time.Millisecond)
+	ncfg := simnet.DefaultNetworkConfig()
+	ncfg.Seed = seed
+	net := simnet.NewNetwork(c.sched, topo, n, ncfg)
+	pcfg := pastry.DefaultConfig()
+	pcfg.Seed = seed
+	c.ring = pastry.NewRing(net, pcfg)
+	rng := rand.New(rand.NewSource(seed))
+	idList := ids.RandomN(rng, n)
+	c.hosts = make([]*testHost, n)
+	eps := make([]simnet.Endpoint, n)
+	for i := 0; i < n; i++ {
+		h := &testHost{}
+		c.hosts[i] = h
+		h.node = c.ring.AddNode(simnet.Endpoint(i), idList[i], h)
+		h.engine = NewEngine(h, cfg)
+		eps[i] = simnet.Endpoint(i)
+	}
+	c.ring.BootstrapAll(eps)
+	return c
+}
+
+var testQuery = relq.MustParse("SELECT SUM(Bytes) FROM Flow")
+
+// latestResult returns the injector's most recent result event.
+func latestResult(t *testing.T, h *testHost) resultEvent {
+	t.Helper()
+	if len(h.results) == 0 {
+		t.Fatal("injector received no results")
+	}
+	return h.results[len(h.results)-1]
+}
+
+func TestAllNodesSubmitAggregatesExactly(t *testing.T) {
+	n := 64
+	c := newCluster(t, n, 1, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q1")
+	injector := c.hosts[0].node.Endpoint()
+	// Every node submits value i+1 for one row each.
+	for i, h := range c.hosts {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		h.engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	got := latestResult(t, c.hosts[0])
+	want := float64(n * (n + 1) / 2)
+	if got.part.Final(agg.Sum) != want {
+		t.Fatalf("sum = %v, want %v", got.part.Final(agg.Sum), want)
+	}
+	if got.contributors != int64(n) {
+		t.Fatalf("contributors = %d, want %d", got.contributors, n)
+	}
+	if got.part.Count != int64(n) {
+		t.Fatalf("row count = %d, want %d", got.part.Count, n)
+	}
+}
+
+func TestResubmissionCountsOnce(t *testing.T) {
+	n := 32
+	c := newCluster(t, n, 2, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q2")
+	injector := c.hosts[0].node.Endpoint()
+	for i, h := range c.hosts {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		h.engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+	// Node 5 re-submits an updated result (new version): replaces, never
+	// double counts.
+	var p2 agg.Partial
+	p2.Observe(1000)
+	c.hosts[5].engine.Submit(qid, p2, testQuery, injector)
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+	got := latestResult(t, c.hosts[0])
+	want := float64(n*(n+1)/2) - 6 + 1000
+	if got.part.Final(agg.Sum) != want {
+		t.Fatalf("sum after resubmission = %v, want %v", got.part.Final(agg.Sum), want)
+	}
+	if got.contributors != int64(n) {
+		t.Fatalf("contributors = %d, want %d (no double count)", got.contributors, n)
+	}
+}
+
+func TestIncrementalArrival(t *testing.T) {
+	// Nodes submit over time; the injector's running result grows
+	// monotonically in contributors and never over-counts.
+	n := 48
+	c := newCluster(t, n, 3, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q3")
+	injector := c.hosts[0].node.Endpoint()
+	rng := rand.New(rand.NewSource(9))
+	for i, h := range c.hosts {
+		i, h := i, h
+		at := c.sched.Now() + time.Duration(rng.Int63n(int64(time.Hour)))
+		c.sched.At(at, func() {
+			var p agg.Partial
+			p.Observe(float64(i + 1))
+			h.engine.Submit(qid, p, testQuery, injector)
+		})
+	}
+	c.sched.RunUntil(c.sched.Now() + 2*time.Hour)
+	prev := int64(0)
+	for _, ev := range c.hosts[0].results {
+		if ev.contributors < prev {
+			// Transient decreases can only come from divergent primaries;
+			// the final state is what matters, but flag big regressions.
+			if prev-ev.contributors > int64(n/4) {
+				t.Fatalf("contributors regressed from %d to %d", prev, ev.contributors)
+			}
+		}
+		if ev.contributors > int64(n) {
+			t.Fatalf("contributors %d exceeds node count %d", ev.contributors, n)
+		}
+		prev = ev.contributors
+	}
+	got := latestResult(t, c.hosts[0])
+	if got.contributors != int64(n) {
+		t.Fatalf("final contributors = %d, want %d", got.contributors, n)
+	}
+	if got.part.Final(agg.Sum) != float64(n*(n+1)/2) {
+		t.Fatalf("final sum = %v", got.part.Final(agg.Sum))
+	}
+}
+
+func TestSurvivesInteriorFailures(t *testing.T) {
+	// After everyone submits, kill several nodes (possible vertex
+	// primaries). Refresh and takeover must restore the full aggregate at
+	// the injector.
+	n := 64
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = time.Minute
+	c := newCluster(t, n, 4, cfg)
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q4")
+	injector := c.hosts[0].node.Endpoint()
+	for i, h := range c.hosts {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		h.engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+
+	rng := rand.New(rand.NewSource(5))
+	killed := map[int]bool{}
+	var killedSum float64
+	for len(killed) < 8 {
+		i := 1 + rng.Intn(n-1)
+		if killed[i] {
+			continue
+		}
+		killed[i] = true
+		killedSum += float64(i + 1)
+		c.hosts[i].node.Stop()
+	}
+	c.sched.RunUntil(c.sched.Now() + 20*time.Minute)
+
+	got := latestResult(t, c.hosts[0])
+	want := float64(n * (n + 1) / 2)
+	// Killed nodes' results must persist (they submitted before dying):
+	// the paper's guarantee is that submitted results survive endsystem
+	// failure via the replica groups.
+	if got.part.Final(agg.Sum) < want-1e-9 {
+		t.Fatalf("sum after failures = %v, want %v (submitted results must persist)",
+			got.part.Final(agg.Sum), want)
+	}
+	if got.part.Final(agg.Sum) > want+1e-9 {
+		t.Fatalf("sum after failures = %v exceeds %v: double counting", got.part.Final(agg.Sum), want)
+	}
+}
+
+func TestLateJoinersContribute(t *testing.T) {
+	// Some nodes start dead; they join later and submit. The injector
+	// result must grow to include them.
+	n := 49
+	c := newCluster(t, n, 6, DefaultConfig())
+	// Stop the last 8 nodes immediately.
+	for i := n - 8; i < n; i++ {
+		c.hosts[i].node.Stop()
+	}
+	c.sched.RunUntil(time.Minute)
+	qid := ids.HashString("q5")
+	injector := c.hosts[0].node.Endpoint()
+	for i := 0; i < n-8; i++ {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		c.hosts[i].engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + 5*time.Minute)
+	partial := latestResult(t, c.hosts[0]).part.Final(agg.Sum)
+
+	// The late nodes come up and submit.
+	for i := n - 8; i < n; i++ {
+		i := i
+		c.sched.At(c.sched.Now()+time.Second, func() {
+			h := c.hosts[i]
+			h.engine.Reset()
+			h.node.OnReady = func() {
+				var p agg.Partial
+				p.Observe(float64(i + 1))
+				h.engine.Submit(qid, p, testQuery, injector)
+			}
+			h.node.Start()
+		})
+	}
+	c.sched.RunUntil(c.sched.Now() + 10*time.Minute)
+	got := latestResult(t, c.hosts[0])
+	want := float64(n * (n + 1) / 2)
+	if math.Abs(got.part.Final(agg.Sum)-want) > 1e-9 {
+		t.Fatalf("final sum = %v, want %v (partial was %v)", got.part.Final(agg.Sum), want, partial)
+	}
+	if got.contributors != int64(n) {
+		t.Fatalf("contributors = %d, want %d", got.contributors, n)
+	}
+}
+
+func TestTreeDepthIsLogarithmic(t *testing.T) {
+	// The leaf optimization should keep per-node vertex counts small:
+	// total vertices across the system ≈ interior nodes of an O(log N)
+	// tree, far below naive 32-level chains per endsystem.
+	n := 128
+	c := newCluster(t, n, 7, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q6")
+	injector := c.hosts[0].node.Endpoint()
+	for i, h := range c.hosts {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		h.engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	vertices := 0
+	for _, h := range c.hosts {
+		vertices += h.engine.NumVertices()
+	}
+	if vertices > 3*n {
+		t.Fatalf("total vertices = %d for %d nodes: tree not compact", vertices, n)
+	}
+}
+
+func TestActiveQueriesTracked(t *testing.T) {
+	c := newCluster(t, 16, 8, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q7")
+	injector := c.hosts[0].node.Endpoint()
+	var p agg.Partial
+	p.Observe(1)
+	c.hosts[3].engine.Submit(qid, p, testQuery, injector)
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+	qs := c.hosts[3].engine.ActiveQueries()
+	if qs[qid] == nil {
+		t.Fatal("submitting node must track the active query")
+	}
+	if ep, ok := c.hosts[3].engine.Injector(qid); !ok || ep != injector {
+		t.Fatal("injector not recorded")
+	}
+}

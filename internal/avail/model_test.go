@@ -1,0 +1,221 @@
+package avail
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestModelPeriodicClassification(t *testing.T) {
+	m := &Model{}
+	// All up events at 8am: strongly periodic.
+	for i := 0; i < 20; i++ {
+		m.ObserveUpEvent(time.Duration(i)*Day+8*time.Hour+30*time.Minute, 14*time.Hour)
+	}
+	if !m.Periodic() {
+		t.Error("concentrated up events must classify as periodic")
+	}
+
+	// Uniform up events: not periodic.
+	u := &Model{}
+	for h := 0; h < 24; h++ {
+		u.ObserveUpEvent(time.Duration(h)*time.Hour+30*time.Minute, time.Hour)
+	}
+	if u.Periodic() {
+		t.Error("uniform up events must not classify as periodic")
+	}
+
+	// Empty model: not periodic.
+	if (&Model{}).Periodic() {
+		t.Error("empty model must not be periodic")
+	}
+}
+
+func TestProbUpByMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := &Model{}
+		for i := 0; i < 30; i++ {
+			at := time.Duration(rng.Int63n(int64(4 * Week)))
+			down := time.Duration(rng.Int63n(int64(2 * Day)))
+			m.ObserveUpEvent(at, down)
+		}
+		now := time.Duration(rng.Int63n(int64(Week)))
+		downSince := now - time.Duration(rng.Int63n(int64(Day)))
+		prev := 0.0
+		for dt := time.Minute; dt <= 3*Day; dt *= 2 {
+			p := m.ProbUpBy(now, downSince, now+dt)
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of [0,1]", p)
+			}
+			if p < prev-1e-12 {
+				t.Fatalf("ProbUpBy not monotone: %v after %v", p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestProbUpByPeriodicPrediction(t *testing.T) {
+	m := &Model{}
+	// Machine always comes up between 8 and 9am.
+	for i := 0; i < 20; i++ {
+		m.ObserveUpEvent(time.Duration(i)*Day+8*time.Hour+20*time.Minute, 14*time.Hour)
+	}
+	if !m.Periodic() {
+		t.Fatal("setup: model should be periodic")
+	}
+	// It is 2am; machine went down at 6pm yesterday.
+	now := 10*Day + 2*time.Hour
+	downSince := 9*Day + 18*time.Hour
+	// By 7am: should still be down.
+	if p := m.ProbUpBy(now, downSince, now+5*time.Hour); p > 0.05 {
+		t.Errorf("P(up by 7am) = %v, want ≈0", p)
+	}
+	// By 10am: should be up.
+	if p := m.ProbUpBy(now, downSince, now+8*time.Hour); p < 0.95 {
+		t.Errorf("P(up by 10am) = %v, want ≈1", p)
+	}
+	// A full day out: certainty.
+	if p := m.ProbUpBy(now, downSince, now+25*time.Hour); p != 1 {
+		t.Errorf("P(up within a day) = %v, want 1", p)
+	}
+}
+
+func TestProbUpByDurationConditioning(t *testing.T) {
+	m := &Model{}
+	// Downtimes always ~2 hours, at scattered hours (non-periodic).
+	for h := 0; h < 24; h++ {
+		m.ObserveUpEvent(time.Duration(h)*time.Hour+30*time.Minute, 2*time.Hour)
+	}
+	if m.Periodic() {
+		t.Fatal("setup: model should be non-periodic")
+	}
+	now := 5 * Day
+	// Just went down: P(up within 4h) should be high (downtimes are ~2h).
+	if p := m.ProbUpBy(now, now, now+4*time.Hour); p < 0.8 {
+		t.Errorf("P(up within 4h of going down) = %v, want high", p)
+	}
+	// Just went down: P(up within 10 min) should be low.
+	if p := m.ProbUpBy(now, now, now+10*time.Minute); p > 0.2 {
+		t.Errorf("P(up within 10min) = %v, want low", p)
+	}
+	// Already down 3x longer than ever seen: history says nothing; the
+	// smoothing tail keeps the estimate defined and below certainty.
+	p := m.ProbUpBy(now, now-6*time.Hour, now+time.Hour)
+	if p < 0 || p > 1 {
+		t.Errorf("conditional estimate out of range: %v", p)
+	}
+}
+
+func TestProbUpByPastTargetIsZero(t *testing.T) {
+	m := &Model{}
+	m.ObserveUpEvent(time.Hour, time.Hour)
+	if p := m.ProbUpBy(5*time.Hour, 4*time.Hour, 5*time.Hour); p != 0 {
+		t.Errorf("P(up by now) = %v, want 0", p)
+	}
+}
+
+func TestUninformedPrior(t *testing.T) {
+	m := &Model{}
+	p1 := m.ProbUpBy(0, 0, 1*time.Hour)
+	p2 := m.ProbUpBy(0, 0, 12*time.Hour)
+	p3 := m.ProbUpBy(0, 0, 100*time.Hour)
+	if !(p1 < p2 && p2 < p3) {
+		t.Errorf("prior not increasing: %v %v %v", p1, p2, p3)
+	}
+	if p2 < 0.5 || p2 > 0.75 {
+		t.Errorf("P(up within 12h) under prior = %v, want ≈0.63", p2)
+	}
+}
+
+func TestModelEncodeDecode(t *testing.T) {
+	m := &Model{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m.ObserveUpEvent(time.Duration(rng.Int63n(int64(4*Week))), time.Duration(rng.Int63n(int64(Day))))
+	}
+	enc := m.Encode()
+	if len(enc) != EncodedModelSize {
+		t.Fatalf("encoded size = %d, want %d", len(enc), EncodedModelSize)
+	}
+	got, err := DecodeModel(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distributions are used as ratios; classification must survive the
+	// round trip, and so must the probability estimates (approximately).
+	if got.Periodic() != m.Periodic() {
+		t.Error("periodicity flipped across encode/decode")
+	}
+	now := 10 * Day
+	for dt := time.Minute; dt < 2*Day; dt *= 4 {
+		a := m.ProbUpBy(now, now-time.Hour, now+dt)
+		b := got.ProbUpBy(now, now-time.Hour, now+dt)
+		if diff := a - b; diff > 0.05 || diff < -0.05 {
+			t.Errorf("prediction drift after round trip at %v: %v vs %v", dt, a, b)
+		}
+	}
+}
+
+func TestModelEncodeSaturation(t *testing.T) {
+	m := &Model{}
+	for i := 0; i < 70000; i++ {
+		m.upHour[8] = 65535 // direct saturation test
+	}
+	enc := m.Encode()
+	if _, err := DecodeModel(enc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	if _, err := DecodeModel(make([]byte, 10)); err == nil {
+		t.Error("short buffer must fail")
+	}
+	bad := make([]byte, EncodedModelSize)
+	if _, err := DecodeModel(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+}
+
+func TestLearnModel(t *testing.T) {
+	// A clean 9-to-5 profile: model must learn the morning up events.
+	p := &Profile{}
+	for d := 0; d < 10; d++ {
+		p.Up = append(p.Up, Interval{
+			Start: time.Duration(d)*Day + 9*time.Hour,
+			End:   time.Duration(d)*Day + 17*time.Hour,
+		})
+	}
+	m := LearnModel(p, 10*Day)
+	if !m.Periodic() {
+		t.Error("9-to-5 machine must classify periodic")
+	}
+	if m.Observations() != 9 {
+		t.Errorf("observations = %d, want 9 (first interval has no prior down)", m.Observations())
+	}
+	// Learning with a cutoff sees fewer transitions.
+	m2 := LearnModel(p, 5*Day)
+	if m2.Observations() >= m.Observations() {
+		t.Error("cutoff must reduce observations")
+	}
+}
+
+func TestDownBuckets(t *testing.T) {
+	if downBucketOf(10*time.Second) != 0 {
+		t.Error("tiny duration must land in bucket 0")
+	}
+	if downBucketOf(1000*Day) != NumDownBuckets-1 {
+		t.Error("huge duration must land in last bucket")
+	}
+	// Buckets are ordered.
+	prev := -1
+	for d := time.Minute; d < 365*Day; d *= 2 {
+		b := downBucketOf(d)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %v", d)
+		}
+		prev = b
+	}
+}

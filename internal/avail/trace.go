@@ -1,0 +1,239 @@
+// Package avail models endsystem availability: trace representation,
+// synthetic trace generators calibrated to the Farsite and Gnutella studies
+// cited by the Seaweed paper, and the per-endsystem availability model
+// (down-duration and up-event distributions) that Seaweed replicates as
+// metadata and uses for completeness prediction.
+//
+// Time in this package is virtual simulation time (time.Duration since the
+// start of the trace). The trace epoch is taken to be midnight at the start
+// of a Monday, so hour-of-day and day-of-week helpers are pure arithmetic.
+package avail
+
+import (
+	"sort"
+	"time"
+)
+
+// Day and Week are convenience durations for trace arithmetic.
+const (
+	Day  = 24 * time.Hour
+	Week = 7 * Day
+)
+
+// HourOfDay returns the hour of day (0–23) of a virtual time.
+func HourOfDay(t time.Duration) int {
+	return int((t % Day) / time.Hour)
+}
+
+// DayOfWeek returns the day of week of a virtual time, with 0 = Monday
+// (the trace epoch is a Monday midnight).
+func DayOfWeek(t time.Duration) int {
+	return int((t % Week) / Day)
+}
+
+// IsWeekend reports whether the virtual time falls on Saturday or Sunday.
+func IsWeekend(t time.Duration) bool { return DayOfWeek(t) >= 5 }
+
+// Interval is a half-open span [Start, End) during which an endsystem is
+// available.
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Duration returns the length of the interval.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Profile is one endsystem's availability history: a sorted list of
+// non-overlapping, non-adjacent up intervals.
+type Profile struct {
+	Up []Interval
+}
+
+// Normalize drops empty intervals, sorts the rest, and merges overlapping
+// or adjacent ones. Generators call it once after construction.
+func (p *Profile) Normalize() {
+	nonEmpty := p.Up[:0]
+	for _, iv := range p.Up {
+		if iv.End > iv.Start {
+			nonEmpty = append(nonEmpty, iv)
+		}
+	}
+	p.Up = nonEmpty
+	if len(p.Up) == 0 {
+		return
+	}
+	sort.Slice(p.Up, func(i, j int) bool { return p.Up[i].Start < p.Up[j].Start })
+	out := p.Up[:1]
+	for _, iv := range p.Up[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	p.Up = out
+}
+
+// AvailableAt reports whether the endsystem is available at time t.
+func (p *Profile) AvailableAt(t time.Duration) bool {
+	i := sort.Search(len(p.Up), func(i int) bool { return p.Up[i].End > t })
+	return i < len(p.Up) && p.Up[i].Start <= t
+}
+
+// NextUp returns the earliest time >= t at which the endsystem is
+// available. If the endsystem is available at t it returns t itself. The
+// second result is false if the endsystem never comes up again within the
+// profile.
+func (p *Profile) NextUp(t time.Duration) (time.Duration, bool) {
+	i := sort.Search(len(p.Up), func(i int) bool { return p.Up[i].End > t })
+	if i >= len(p.Up) {
+		return 0, false
+	}
+	if p.Up[i].Start <= t {
+		return t, true
+	}
+	return p.Up[i].Start, true
+}
+
+// UpTimeIn returns the total available time within [from, to).
+func (p *Profile) UpTimeIn(from, to time.Duration) time.Duration {
+	var total time.Duration
+	for _, iv := range p.Up {
+		s, e := iv.Start, iv.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// AvailableThroughout reports whether the endsystem is available at every
+// instant of [from, to].
+func (p *Profile) AvailableThroughout(from, to time.Duration) bool {
+	i := sort.Search(len(p.Up), func(i int) bool { return p.Up[i].End > from })
+	return i < len(p.Up) && p.Up[i].Start <= from && p.Up[i].End >= to
+}
+
+// Transition is one availability state change.
+type Transition struct {
+	At time.Duration
+	Up bool // true = endsystem came up, false = went down
+}
+
+// Transitions returns the profile's state changes in time order, clipped to
+// [from, to). An up interval straddling from yields no transition at from
+// (the endsystem is already up).
+func (p *Profile) Transitions(from, to time.Duration) []Transition {
+	var out []Transition
+	for _, iv := range p.Up {
+		if iv.End <= from || iv.Start >= to {
+			continue
+		}
+		if iv.Start >= from {
+			out = append(out, Transition{At: iv.Start, Up: true})
+		}
+		if iv.End < to {
+			out = append(out, Transition{At: iv.End, Up: false})
+		}
+	}
+	return out
+}
+
+// Trace is a set of per-endsystem availability profiles over a common
+// horizon.
+type Trace struct {
+	Horizon  time.Duration
+	Profiles []*Profile
+}
+
+// NumEndsystems returns the number of profiles in the trace.
+func (tr *Trace) NumEndsystems() int { return len(tr.Profiles) }
+
+// FractionAvailable returns the fraction of endsystems available at time t.
+func (tr *Trace) FractionAvailable(t time.Duration) float64 {
+	if len(tr.Profiles) == 0 {
+		return 0
+	}
+	up := 0
+	for _, p := range tr.Profiles {
+		if p.AvailableAt(t) {
+			up++
+		}
+	}
+	return float64(up) / float64(len(tr.Profiles))
+}
+
+// HourlySeries samples FractionAvailable once per hour across the horizon,
+// mirroring the hourly-ping methodology of the Farsite study. This
+// regenerates the paper's Figure 1.
+func (tr *Trace) HourlySeries() []float64 {
+	hours := int(tr.Horizon / time.Hour)
+	out := make([]float64, hours)
+	for h := 0; h < hours; h++ {
+		out[h] = tr.FractionAvailable(time.Duration(h) * time.Hour)
+	}
+	return out
+}
+
+// Stats summarizes the aggregate availability characteristics of a trace.
+type Stats struct {
+	// MeanAvailability is the time-averaged fraction of available
+	// endsystems (the paper's f_on; 0.81 for Farsite).
+	MeanAvailability float64
+	// DeparturesPerOnlineSecond is the mean rate of down-transitions per
+	// online endsystem per second (4.06e-6 for Farsite, 9.46e-5 for the
+	// Gnutella trace used in the paper).
+	DeparturesPerOnlineSecond float64
+	// ChurnPerEndsystemSecond is the rate at which a single endsystem
+	// switches state (joins + leaves), the model parameter c.
+	ChurnPerEndsystemSecond float64
+	// MeanSession is the mean up-interval length.
+	MeanSession time.Duration
+}
+
+// ComputeStats measures the trace's aggregate statistics over its horizon.
+// Accumulation happens in float64 seconds: summing time.Durations across
+// tens of thousands of endsystem-months overflows int64 nanoseconds.
+func (tr *Trace) ComputeStats() Stats {
+	var upSeconds float64
+	var departures, joins int64
+	var sessions int64
+	var sessionSeconds float64
+	for _, p := range tr.Profiles {
+		upSeconds += p.UpTimeIn(0, tr.Horizon).Seconds()
+		for _, iv := range p.Up {
+			if iv.Start > 0 {
+				joins++
+			}
+			if iv.End < tr.Horizon {
+				departures++
+			}
+			sessions++
+			sessionSeconds += iv.Duration().Seconds()
+		}
+	}
+	n := float64(len(tr.Profiles))
+	horizonSecs := tr.Horizon.Seconds()
+	st := Stats{}
+	if n == 0 || horizonSecs == 0 {
+		return st
+	}
+	st.MeanAvailability = upSeconds / (n * horizonSecs)
+	if upSeconds > 0 {
+		st.DeparturesPerOnlineSecond = float64(departures) / upSeconds
+	}
+	st.ChurnPerEndsystemSecond = float64(departures+joins) / (n * horizonSecs)
+	if sessions > 0 {
+		st.MeanSession = time.Duration(sessionSeconds / float64(sessions) * float64(time.Second))
+	}
+	return st
+}

@@ -1,0 +1,203 @@
+package avail
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeHelpers(t *testing.T) {
+	if HourOfDay(0) != 0 || HourOfDay(90*time.Minute) != 1 {
+		t.Error("HourOfDay wrong")
+	}
+	if HourOfDay(25*time.Hour) != 1 {
+		t.Error("HourOfDay must wrap at midnight")
+	}
+	if DayOfWeek(0) != 0 { // epoch is Monday
+		t.Error("epoch must be Monday")
+	}
+	if DayOfWeek(5*Day) != 5 || !IsWeekend(5*Day+3*time.Hour) {
+		t.Error("Saturday detection wrong")
+	}
+	if IsWeekend(4 * Day) {
+		t.Error("Friday is not a weekend")
+	}
+	if DayOfWeek(7*Day) != 0 {
+		t.Error("DayOfWeek must wrap weekly")
+	}
+}
+
+func TestProfileNormalize(t *testing.T) {
+	p := &Profile{Up: []Interval{
+		{10 * time.Hour, 12 * time.Hour},
+		{1 * time.Hour, 3 * time.Hour},
+		{2 * time.Hour, 5 * time.Hour}, // overlaps previous
+		{5 * time.Hour, 6 * time.Hour}, // adjacent: merges
+	}}
+	p.Normalize()
+	want := []Interval{{1 * time.Hour, 6 * time.Hour}, {10 * time.Hour, 12 * time.Hour}}
+	if len(p.Up) != 2 || p.Up[0] != want[0] || p.Up[1] != want[1] {
+		t.Fatalf("normalized = %v", p.Up)
+	}
+}
+
+func testProfile() *Profile {
+	return &Profile{Up: []Interval{
+		{1 * time.Hour, 3 * time.Hour},
+		{5 * time.Hour, 8 * time.Hour},
+	}}
+}
+
+func TestAvailableAt(t *testing.T) {
+	p := testProfile()
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{1 * time.Hour, true},
+		{2 * time.Hour, true},
+		{3 * time.Hour, false}, // half-open
+		{4 * time.Hour, false},
+		{5 * time.Hour, true},
+		{8 * time.Hour, false},
+		{100 * time.Hour, false},
+	}
+	for _, c := range cases {
+		if got := p.AvailableAt(c.at); got != c.want {
+			t.Errorf("AvailableAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestNextUp(t *testing.T) {
+	p := testProfile()
+	if got, ok := p.NextUp(0); !ok || got != 1*time.Hour {
+		t.Errorf("NextUp(0) = %v %v", got, ok)
+	}
+	if got, ok := p.NextUp(2 * time.Hour); !ok || got != 2*time.Hour {
+		t.Errorf("NextUp while up = %v %v, want identity", got, ok)
+	}
+	if got, ok := p.NextUp(4 * time.Hour); !ok || got != 5*time.Hour {
+		t.Errorf("NextUp(4h) = %v %v", got, ok)
+	}
+	if _, ok := p.NextUp(9 * time.Hour); ok {
+		t.Error("NextUp after last interval must report false")
+	}
+}
+
+func TestUpTimeIn(t *testing.T) {
+	p := testProfile()
+	if got := p.UpTimeIn(0, 10*time.Hour); got != 5*time.Hour {
+		t.Errorf("full uptime = %v, want 5h", got)
+	}
+	if got := p.UpTimeIn(2*time.Hour, 6*time.Hour); got != 2*time.Hour {
+		t.Errorf("partial uptime = %v, want 2h", got)
+	}
+	if got := p.UpTimeIn(3*time.Hour, 5*time.Hour); got != 0 {
+		t.Errorf("gap uptime = %v, want 0", got)
+	}
+}
+
+func TestAvailableThroughout(t *testing.T) {
+	p := testProfile()
+	if !p.AvailableThroughout(1*time.Hour, 3*time.Hour) {
+		t.Error("should be available throughout its own interval")
+	}
+	if p.AvailableThroughout(2*time.Hour, 6*time.Hour) {
+		t.Error("gap inside range must report false")
+	}
+	if !p.AvailableThroughout(6*time.Hour, 7*time.Hour) {
+		t.Error("sub-interval must report true")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	p := testProfile()
+	tr := p.Transitions(0, 10*time.Hour)
+	want := []Transition{
+		{1 * time.Hour, true}, {3 * time.Hour, false},
+		{5 * time.Hour, true}, {8 * time.Hour, false},
+	}
+	if len(tr) != len(want) {
+		t.Fatalf("transitions = %v", tr)
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("transitions[%d] = %v, want %v", i, tr[i], want[i])
+		}
+	}
+	// Clipped window starting mid-interval: no initial up transition.
+	tr = p.Transitions(2*time.Hour, 6*time.Hour)
+	if len(tr) != 2 || tr[0] != (Transition{3 * time.Hour, false}) || tr[1] != (Transition{5 * time.Hour, true}) {
+		t.Fatalf("clipped transitions = %v", tr)
+	}
+}
+
+func TestTraceFractionAvailable(t *testing.T) {
+	tr := &Trace{
+		Horizon: 10 * time.Hour,
+		Profiles: []*Profile{
+			{Up: []Interval{{0, 10 * time.Hour}}},
+			{Up: []Interval{{0, 5 * time.Hour}}},
+		},
+	}
+	if got := tr.FractionAvailable(2 * time.Hour); got != 1.0 {
+		t.Errorf("at 2h: %v", got)
+	}
+	if got := tr.FractionAvailable(7 * time.Hour); got != 0.5 {
+		t.Errorf("at 7h: %v", got)
+	}
+	series := tr.HourlySeries()
+	if len(series) != 10 {
+		t.Fatalf("series length = %d", len(series))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{
+		Horizon: 10 * time.Hour,
+		Profiles: []*Profile{
+			{Up: []Interval{{0, 10 * time.Hour}}},            // always on: no churn
+			{Up: []Interval{{2 * time.Hour, 7 * time.Hour}}}, // one join, one departure
+		},
+	}
+	st := tr.ComputeStats()
+	if st.MeanAvailability != 0.75 {
+		t.Errorf("MeanAvailability = %v, want 0.75", st.MeanAvailability)
+	}
+	// 1 departure over 15 online endsystem-hours.
+	wantDep := 1.0 / (15 * 3600)
+	if diff := st.DeparturesPerOnlineSecond - wantDep; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("DeparturesPerOnlineSecond = %v, want %v", st.DeparturesPerOnlineSecond, wantDep)
+	}
+	// 1 join + 1 departure over 2 endsystems x 10 hours.
+	wantChurn := 2.0 / (2 * 10 * 3600)
+	if diff := st.ChurnPerEndsystemSecond - wantChurn; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("ChurnPerEndsystemSecond = %v, want %v", st.ChurnPerEndsystemSecond, wantChurn)
+	}
+}
+
+func TestProfileInvariantAfterNormalize(t *testing.T) {
+	f := func(raw []uint32) bool {
+		p := &Profile{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			a := time.Duration(raw[i]%1000) * time.Minute
+			b := a + time.Duration(raw[i+1]%500)*time.Minute
+			p.Up = append(p.Up, Interval{a, b})
+		}
+		p.Normalize()
+		for i := range p.Up {
+			if p.Up[i].End < p.Up[i].Start {
+				return false
+			}
+			if i > 0 && p.Up[i].Start <= p.Up[i-1].End {
+				return false // must be strictly separated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/anemone"
+	"repro/internal/avail"
+	"repro/internal/ids"
+	"repro/internal/pastry"
+	"repro/internal/predictor"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// ClusterConfig parameterizes a packet-level Seaweed simulation: N
+// endsystems with Anemone data, availability driven by a trace, Pastry
+// over a router topology, and the full Seaweed protocol stack.
+type ClusterConfig struct {
+	Trace    *avail.Trace
+	Workload anemone.Config
+	Topology simnet.TopologyConfig
+	Net      simnet.NetworkConfig
+	Pastry   pastry.Config
+	Node     NodeConfig
+	Seed     int64
+	// Feed, when enabled, switches the cluster to live data updates:
+	// endsystems start empty and accrue rows while up, rebuilding and
+	// re-replicating their summaries as data changes. (The paper's own
+	// simulator pre-computed all data and could not support updates; this
+	// lifts that restriction.)
+	Feed FeedConfig
+}
+
+// FeedConfig parameterizes live data updates.
+type FeedConfig struct {
+	Enabled bool
+	// Period is how often an up endsystem appends the rows it generated
+	// (and refreshes its metadata if anything changed). Default 15 min.
+	Period time.Duration
+}
+
+// DefaultClusterConfig builds the paper's packet-level setup for a given
+// trace: CorpNet-like topology, MSPastry parameters (b=4, l=8, 30 s
+// heartbeats), k=8 metadata replicas, m=3 vertex backups, and a light
+// Anemone workload (the queries' constant-size result messages make
+// bandwidth results insensitive to the per-endsystem row count).
+func DefaultClusterConfig(trace *avail.Trace, seed int64) ClusterConfig {
+	w := anemone.DefaultConfig(trace.Horizon, seed)
+	w.MeanFlowsPerDay = 200
+	net := simnet.DefaultNetworkConfig()
+	net.Horizon = trace.Horizon
+	net.Seed = seed
+	p := pastry.DefaultConfig()
+	p.Seed = seed
+	return ClusterConfig{
+		Trace:    trace,
+		Workload: w,
+		Topology: simnet.DefaultTopologyConfig(),
+		Net:      net,
+		Pastry:   p,
+		Node:     DefaultNodeConfig(seed),
+		Seed:     seed,
+	}
+}
+
+// Cluster is a running packet-level Seaweed simulation.
+type Cluster struct {
+	Sched *simnet.Scheduler
+	Net   *simnet.Network
+	Ring  *pastry.Ring
+	Nodes []*Node
+	cfg   ClusterConfig
+}
+
+// NewCluster builds the cluster: endsystem data, overlay nodes, the t=0
+// bootstrap of the initially-available population, and the scheduled
+// up/down transitions for the whole trace horizon.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	n := cfg.Trace.NumEndsystems()
+	sched := simnet.NewScheduler()
+	topo := simnet.GenerateTopology(cfg.Topology, cfg.Seed)
+	net := simnet.NewNetwork(sched, topo, n, cfg.Net)
+	ring := pastry.NewRing(net, cfg.Pastry)
+	c := &Cluster{Sched: sched, Net: net, Ring: ring, Nodes: make([]*Node, n), cfg: cfg}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idList := ids.RandomN(rng, n)
+	feedPeriod := cfg.Feed.Period
+	if feedPeriod <= 0 {
+		feedPeriod = 15 * time.Minute
+	}
+	var bootstrap []simnet.Endpoint
+	for i := 0; i < n; i++ {
+		var ds *anemone.Dataset
+		if cfg.Feed.Enabled {
+			// Live updates: start with an empty dataset; rows accrue
+			// while the endsystem is up.
+			ds = &anemone.Dataset{Flow: relq.NewTable(anemone.FlowSchema())}
+			if cfg.Workload.WithPacketTable {
+				ds.Packet = relq.NewTable(anemone.PacketSchema())
+			}
+		} else {
+			ds = anemone.Generate(cfg.Workload, i)
+		}
+		nodeCfg := cfg.Node
+		nodeCfg.Seed = cfg.Seed ^ int64(i)<<1
+		c.Nodes[i] = NewNode(ring, simnet.Endpoint(i), idList[i], ds.Tables(),
+			&avail.Model{}, nodeCfg)
+		if cfg.Feed.Enabled {
+			c.Nodes[i].EnableFeed(anemone.NewStreamer(cfg.Workload, i), ds, feedPeriod)
+		}
+		if cfg.Trace.Profiles[i].AvailableAt(0) {
+			bootstrap = append(bootstrap, simnet.Endpoint(i))
+		}
+	}
+	ring.BootstrapAll(bootstrap)
+	for _, ep := range bootstrap {
+		c.Nodes[ep].meta.Activate()
+		c.Nodes[ep].startFeed()
+	}
+
+	// Schedule every availability transition.
+	for i := 0; i < n; i++ {
+		node := c.Nodes[i]
+		for _, tr := range cfg.Trace.Profiles[i].Transitions(0, cfg.Trace.Horizon) {
+			tr := tr
+			if tr.Up {
+				sched.At(tr.At, node.GoUp)
+			} else {
+				sched.At(tr.At, node.GoDown)
+			}
+		}
+	}
+	return c
+}
+
+// RunUntil advances the simulation to the given virtual time.
+func (c *Cluster) RunUntil(t time.Duration) { c.Sched.RunUntil(t) }
+
+// QueryHandle tracks one injected query's outputs.
+type QueryHandle struct {
+	QueryID     ids.ID
+	Injected    time.Duration
+	Predictor   *predictor.Predictor
+	PredictorAt time.Duration
+	// Results holds every incremental result update observed at the
+	// injector.
+	Results []ResultUpdate
+}
+
+// ResultUpdate is one incremental result observation.
+type ResultUpdate struct {
+	At           time.Duration
+	Partial      agg.Partial
+	Contributors int64
+}
+
+// Latest returns the most recent result update, if any.
+func (h *QueryHandle) Latest() (ResultUpdate, bool) {
+	if len(h.Results) == 0 {
+		return ResultUpdate{}, false
+	}
+	return h.Results[len(h.Results)-1], true
+}
+
+// InjectContinuousQuery submits a standing query: every endsystem
+// re-executes it periodically while up and replaces its contribution when
+// the local result changes, so the handle's incremental results track the
+// (possibly growing) data.
+func (c *Cluster) InjectContinuousQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle {
+	cq := *q
+	cq.Continuous = true
+	return c.InjectQuery(from, &cq)
+}
+
+// InjectQuery submits a query at endsystem from (which must be up) and
+// returns a handle that fills in as the simulation advances.
+func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle {
+	h := &QueryHandle{Injected: c.Sched.Now()}
+	node := c.Nodes[from]
+	h.QueryID = node.InjectQuery(q,
+		func(p *predictor.Predictor) {
+			h.Predictor = p
+			h.PredictorAt = c.Sched.Now()
+		},
+		func(part agg.Partial, contributors int64) {
+			h.Results = append(h.Results, ResultUpdate{
+				At: c.Sched.Now(), Partial: part, Contributors: contributors,
+			})
+		})
+	return h
+}
+
+// CancelQuery explicitly cancels a query at its injector.
+func (c *Cluster) CancelQuery(h *QueryHandle, from simnet.Endpoint) {
+	c.Nodes[from].CancelQuery(h.QueryID)
+}
+
+// TrueRelevantRows returns the exact number of rows matching the query
+// across every endsystem's data (available or not), with NOW() bound to
+// the current clock — the denominator of completeness.
+func (c *Cluster) TrueRelevantRows(q *relq.Query) int64 {
+	now := int64(c.Sched.Now() / time.Second)
+	bound := q.BindNow(now)
+	var total int64
+	for _, n := range c.Nodes {
+		tbl, ok := n.tables[bound.Table]
+		if !ok {
+			continue
+		}
+		cnt, err := tbl.CountMatching(bound, now)
+		if err == nil {
+			total += cnt
+		}
+	}
+	return total
+}
+
+// NumLive returns the number of currently-available endsystems.
+func (c *Cluster) NumLive() int { return c.Ring.NumLive() }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/anemone"
+	"repro/internal/avail"
+	"repro/internal/predictor"
+	"repro/internal/relq"
+)
+
+// CompletenessConfig parameterizes the availability-level simulator used
+// for the paper's Figures 5–8. As in the paper, this simulator "correctly
+// captures the effect of availability on completeness but does not do
+// packet-level simulation": prediction uses each endsystem's learned
+// availability model and replicated histogram estimates, and the actual
+// result stream is derived directly from the availability trace.
+type CompletenessConfig struct {
+	Trace    *avail.Trace
+	Workload anemone.Config
+	Query    *relq.Query
+	// InjectAt is the query injection instant. The preceding part of the
+	// trace is the warmup from which availability models are learned.
+	InjectAt time.Duration
+	// Lifetime is how long the query runs before it is terminated (the
+	// paper uses 48 hours).
+	Lifetime time.Duration
+	// MinUpTime is the continuous uptime an endsystem needs to receive
+	// and process a query (the H_U "sufficient time" of §2.3).
+	MinUpTime time.Duration
+	// Parallelism bounds the worker goroutines generating per-endsystem
+	// data (0 = GOMAXPROCS). Results are deterministic regardless.
+	Parallelism int
+	// SampleDelays are the observation delays for the output curves; nil
+	// selects a default log-spaced set from 0 to Lifetime.
+	SampleDelays []time.Duration
+	// Mode forces the availability-prediction mode (ablation); the zero
+	// value is the paper's classifier-driven behaviour.
+	Mode avail.PredictionMode
+}
+
+// CompletenessResult is the outcome of one completeness experiment.
+type CompletenessResult struct {
+	// Predicted is the aggregated completeness predictor generated at
+	// injection time.
+	Predicted *predictor.Predictor
+	// Delays are the observation points (time since injection).
+	Delays []time.Duration
+	// PredictedRows[i] is the predictor's expected cumulative row count at
+	// Delays[i]; ActualRows[i] is the true cumulative count of rows on
+	// endsystems that had become available (for at least MinUpTime) by
+	// then.
+	PredictedRows []float64
+	ActualRows    []float64
+	// TotalRelevantRows is the exact number of matching rows across every
+	// endsystem, available or not.
+	TotalRelevantRows int64
+	// RowsWithinLifetime is the portion of TotalRelevantRows on
+	// endsystems that became available within the query lifetime.
+	RowsWithinLifetime int64
+
+	// arrivals holds (delay, cumulativeRows) breakpoints of the exact
+	// actual-result step function, sorted by delay.
+	arrivalDelays []time.Duration
+	arrivalCum    []float64
+}
+
+// ActualRowsAt returns the exact cumulative actual row count at the given
+// delay since injection.
+func (r *CompletenessResult) ActualRowsAt(delay time.Duration) float64 {
+	i := sort.Search(len(r.arrivalDelays), func(i int) bool {
+		return r.arrivalDelays[i] > delay
+	})
+	if i == 0 {
+		return 0
+	}
+	return r.arrivalCum[i-1]
+}
+
+// PredictionErrorAt returns the relative prediction error (in percent) at
+// the given delay: 100 × (predicted − actual) / actual.
+func (r *CompletenessResult) PredictionErrorAt(delay time.Duration) float64 {
+	pred := r.Predicted.RowsBy(delay)
+	actual := r.ActualRowsAt(delay)
+	if actual == 0 {
+		return 0
+	}
+	return 100 * (pred - actual) / actual
+}
+
+// TotalRowCountError returns the relative error (percent) of the
+// predictor's expected total against the true total relevant rows — the
+// paper reports this under 0.5%.
+func (r *CompletenessResult) TotalRowCountError() float64 {
+	if r.TotalRelevantRows == 0 {
+		return 0
+	}
+	return 100 * (r.Predicted.ExpectedTotal() - float64(r.TotalRelevantRows)) /
+		float64(r.TotalRelevantRows)
+}
+
+// endsystemOutcome is the per-endsystem intermediate of the simulation.
+type endsystemOutcome struct {
+	rows     int64   // exact matching rows
+	estimate float64 // histogram-based estimate
+	// availability at injection, or the first instant after injection at
+	// which the endsystem has been up MinUpTime (availAtValid false if
+	// never within the lifetime).
+	availAt      time.Duration
+	availAtValid bool
+	upAtInject   bool
+	// model prediction inputs for unavailable endsystems.
+	model     *avail.Model
+	downSince time.Duration
+	everUp    bool
+}
+
+// RunCompleteness executes the experiment.
+func RunCompleteness(cfg CompletenessConfig) *CompletenessResult {
+	return RunCompletenessSeries(cfg, []time.Duration{cfg.InjectAt})[0]
+}
+
+// RunCompletenessSeries runs the experiment for several injection times
+// over the same trace and workload. Each endsystem's dataset (exact counts
+// and histogram estimates) is computed once and shared across injections —
+// the per-endsystem data does not depend on when the query is injected, so
+// the paper's Figure 5(b)/(c) sweeps over days and times of day reuse it.
+func RunCompletenessSeries(cfg CompletenessConfig, injectAts []time.Duration) []*CompletenessResult {
+	n := cfg.Trace.NumEndsystems()
+	if cfg.MinUpTime <= 0 {
+		cfg.MinUpTime = 30 * time.Second
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// NOW() binds against the first injection's clock; the four evaluation
+	// queries carry no NOW(), so this only matters for explicitly
+	// time-windowed queries, which should be run one injection at a time.
+	rowsEst := make([]struct {
+		rows int64
+		est  float64
+	}, n)
+	nowSecs0 := int64(injectAts[0] / time.Second)
+	bound := cfg.Query.BindNow(nowSecs0)
+	parallelFor(n, workers, func(i int) {
+		ds := anemone.Generate(cfg.Workload, i)
+		tbl := ds.Flow
+		if bound.Table == "Packet" && ds.Packet != nil {
+			tbl = ds.Packet
+		}
+		if cnt, err := tbl.CountMatching(bound, nowSecs0); err == nil {
+			rowsEst[i].rows = cnt
+		}
+		rowsEst[i].est = ds.Summary().EstimateRows(bound, nowSecs0)
+	})
+
+	results := make([]*CompletenessResult, len(injectAts))
+	for j, injectAt := range injectAts {
+		c := cfg
+		c.InjectAt = injectAt
+		outcomes := make([]endsystemOutcome, n)
+		parallelFor(n, workers, func(i int) {
+			outcomes[i] = evalAvailability(c, i)
+			outcomes[i].rows = rowsEst[i].rows
+			outcomes[i].estimate = rowsEst[i].est
+		})
+		results[j] = assemble(c, outcomes)
+	}
+	return results
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given worker count.
+func parallelFor(n, workers int, fn func(i int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// evalAvailability computes one endsystem's availability-dependent
+// outcome: its learned model, its state at injection, and when its rows
+// join the result.
+func evalAvailability(cfg CompletenessConfig, i int) endsystemOutcome {
+	out := endsystemOutcome{}
+	p := cfg.Trace.Profiles[i]
+
+	out.model = avail.LearnModel(p, cfg.InjectAt)
+	// Availability state at injection.
+	out.upAtInject = p.AvailableAt(cfg.InjectAt)
+	for _, iv := range p.Up {
+		if iv.End <= cfg.InjectAt {
+			out.everUp = true
+			out.downSince = iv.End
+		}
+		if iv.Start <= cfg.InjectAt {
+			continue
+		}
+		break
+	}
+	if out.upAtInject {
+		out.everUp = true
+	}
+
+	// When do this endsystem's rows actually join the result?
+	deadline := cfg.InjectAt + cfg.Lifetime
+	if out.upAtInject {
+		out.availAt, out.availAtValid = cfg.InjectAt, true
+		return out
+	}
+	for _, iv := range p.Up {
+		start := iv.Start
+		if start < cfg.InjectAt {
+			continue
+		}
+		if start+cfg.MinUpTime <= iv.End && start+cfg.MinUpTime <= deadline {
+			out.availAt, out.availAtValid = start+cfg.MinUpTime, true
+			return out
+		}
+	}
+	return out
+}
+
+// assemble aggregates the per-endsystem outcomes into the experiment
+// result.
+func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *CompletenessResult {
+	res := &CompletenessResult{Predicted: &predictor.Predictor{}}
+
+	for i := range outcomes {
+		o := &outcomes[i]
+		res.TotalRelevantRows += o.rows
+		if o.availAtValid {
+			res.RowsWithinLifetime += o.rows
+		}
+		switch {
+		case o.upAtInject:
+			res.Predicted.AddImmediate(o.estimate)
+		case o.everUp:
+			// Unavailable but previously seen: its replicated metadata
+			// provides the estimate and the availability model.
+			res.Predicted.AddModelMode(cfg.Mode, o.model, cfg.InjectAt, o.downSince, o.estimate)
+		default:
+			// Never available before injection: no metadata exists
+			// anywhere, so the predictor cannot account for it (the
+			// H_U(-∞, 0) lower bound of §2.3).
+		}
+	}
+
+	// Build the exact actual-arrival step function.
+	type arrival struct {
+		delay time.Duration
+		rows  float64
+	}
+	var arr []arrival
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.availAtValid && o.rows > 0 {
+			arr = append(arr, arrival{delay: o.availAt - cfg.InjectAt, rows: float64(o.rows)})
+		}
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i].delay < arr[j].delay })
+	cum := 0.0
+	for _, a := range arr {
+		cum += a.rows
+		res.arrivalDelays = append(res.arrivalDelays, a.delay)
+		res.arrivalCum = append(res.arrivalCum, cum)
+	}
+
+	delays := cfg.SampleDelays
+	if delays == nil {
+		delays = DefaultSampleDelays(cfg.Lifetime)
+	}
+	res.Delays = delays
+	res.PredictedRows = make([]float64, len(delays))
+	res.ActualRows = make([]float64, len(delays))
+	for j, d := range delays {
+		res.PredictedRows[j] = res.Predicted.RowsBy(d)
+		res.ActualRows[j] = res.ActualRowsAt(d)
+	}
+	return res
+}
+
+// DefaultSampleDelays returns log-spaced observation delays from zero to
+// the lifetime, matching the paper's 1–32 h log-axis plots.
+func DefaultSampleDelays(lifetime time.Duration) []time.Duration {
+	delays := []time.Duration{0}
+	for d := time.Minute; d < lifetime; d *= 2 {
+		delays = append(delays, d)
+	}
+	return append(delays, lifetime)
+}

@@ -1,0 +1,473 @@
+// Package dissem implements Seaweed's query dissemination and completeness
+// prediction protocol (§3.3). A query is assigned a queryId (the hash of
+// its text and injection instant) and routed to the queryId's root, which
+// broadcasts it divide-and-conquer over explicit namespace ranges: each
+// recipient subdivides its range into 2^b equal subranges, keeps the one
+// containing itself, and routes one message toward the midpoint of each of
+// the others — reaching a live endsystem within that subrange in one
+// Pastry hop in the common case. An endsystem that finds itself alone in a
+// range (or closest to an empty one) takes responsibility for all
+// unavailable endsystems in it, generating their completeness predictors
+// from the replicated metadata; it also contributes its own predictor from
+// its local row-count estimate. Predictors aggregate up the distribution
+// tree at constant size. Parents reissue subrange requests that do not
+// respond within a timeout, and responses are deduplicated per subrange,
+// so each endsystem's contribution is counted exactly once with high
+// probability.
+package dissem
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metadata"
+	"repro/internal/pastry"
+	"repro/internal/predictor"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes the dissemination engine.
+type Config struct {
+	// Arity is the fan-out of the range subdivision. The paper describes
+	// the tree as binary and implements it 2^b-ary (16); both are
+	// supported for the ablation benchmarks.
+	Arity int
+	// ResponseTimeout is how long a parent waits for a subrange's
+	// aggregated predictor before reissuing the request.
+	ResponseTimeout time.Duration
+	// MaxRetries bounds reissues per subrange.
+	MaxRetries int
+}
+
+// DefaultConfig returns the paper's configuration: 16-ary subdivision.
+func DefaultConfig() Config {
+	return Config{Arity: 16, ResponseTimeout: 5 * time.Second, MaxRetries: 3}
+}
+
+// Host is the embedding Seaweed node: the engine calls back into it for
+// local estimates, replicated metadata, and query registration.
+type Host interface {
+	// PastryNode returns the overlay node the engine runs on.
+	PastryNode() *pastry.Node
+	// EstimateOwnRows estimates how many local rows match the query (the
+	// paper queries the local DBMS's estimator).
+	EstimateOwnRows(q *relq.Query) float64
+	// UnavailableInRange returns replicated metadata records of
+	// currently-unavailable endsystems in the inclusive id range.
+	UnavailableInRange(lo, hi ids.ID) []*metadata.Record
+	// QueryObserved tells the host a query reached this endsystem, so it
+	// can execute it locally and submit results (exactly once per query).
+	// injector is the endpoint that submitted the query, where incremental
+	// results are delivered.
+	QueryObserved(queryID ids.ID, q *relq.Query, injector simnet.Endpoint)
+}
+
+// Engine runs the dissemination protocol for one endsystem.
+type Engine struct {
+	cfg   Config
+	host  Host
+	tasks map[taskKey]*task
+	// waiting holds injector-side callbacks keyed by queryId.
+	waiting map[ids.ID]func(*predictor.Predictor)
+	seen    map[ids.ID]bool // queries already passed to QueryObserved
+}
+
+// DebugContribute, when non-nil, observes every on-behalf-of contribution
+// (handler id, subject id, rows). Test instrumentation only.
+var DebugContribute func(handler, subject ids.ID, rows float64)
+
+// NewEngine creates an engine for the host.
+func NewEngine(host Host, cfg Config) *Engine {
+	if cfg.Arity < 2 {
+		cfg.Arity = 2
+	}
+	return &Engine{
+		cfg:     cfg,
+		host:    host,
+		tasks:   make(map[taskKey]*task),
+		waiting: make(map[ids.ID]func(*predictor.Predictor)),
+		seen:    make(map[ids.ID]bool),
+	}
+}
+
+// Reset clears all per-query state (the endsystem restarted).
+func (e *Engine) Reset() {
+	e.tasks = make(map[taskKey]*task)
+	e.waiting = make(map[ids.ID]func(*predictor.Predictor))
+	e.seen = make(map[ids.ID]bool)
+}
+
+// QueryID derives the queryId for a query injected at the given virtual
+// time: the hash of the query text and the injection instant, so repeated
+// one-shot queries get distinct distribution trees.
+func QueryID(q *relq.Query, at time.Duration) ids.ID {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(at) >> (8 * i))
+	}
+	return ids.HashBytes(append([]byte(q.Raw), buf[:]...))
+}
+
+// Inject submits a query at this endsystem. onPredictor is invoked once
+// with the aggregated completeness predictor (typically seconds later).
+// It returns the queryId identifying the query systemwide.
+func (e *Engine) Inject(q *relq.Query, onPredictor func(*predictor.Predictor)) ids.ID {
+	node := e.host.PastryNode()
+	qid := QueryID(q, node.Ring().Scheduler().Now())
+	e.waiting[qid] = onPredictor
+	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint()}
+	node.Route(qid, msg, startMsgSize(q), simnet.ClassQuery)
+	return qid
+}
+
+// --------------------------------------------------------------- messages
+
+// startMsg travels from the injector to the queryId root.
+type startMsg struct {
+	QueryID  ids.ID
+	Query    *relq.Query
+	Injector simnet.Endpoint
+}
+
+func startMsgSize(q *relq.Query) int { return ids.Bytes + 8 + len(q.Raw) }
+
+// rangeMsg asks the recipient to produce the aggregated predictor for the
+// inclusive namespace range [Lo, Hi].
+type rangeMsg struct {
+	QueryID  ids.ID
+	Query    *relq.Query
+	Lo, Hi   ids.ID
+	Parent   simnet.Endpoint // where to send the rangeResp
+	Injector simnet.Endpoint // the query's home, carried to every endsystem
+}
+
+func rangeMsgSize(q *relq.Query) int { return 3*ids.Bytes + 8 + len(q.Raw) }
+
+// rangeResp carries a subrange's aggregated predictor back to the parent.
+type rangeResp struct {
+	QueryID ids.ID
+	Lo, Hi  ids.ID
+	Pred    *predictor.Predictor
+}
+
+func rangeRespSize() int { return 3*ids.Bytes + predictor.EncodedSize }
+
+// predictorMsg returns the final aggregated predictor to the injector.
+type predictorMsg struct {
+	QueryID ids.ID
+	Pred    *predictor.Predictor
+}
+
+// --------------------------------------------------------------- task
+
+type taskKey struct {
+	qid    ids.ID
+	lo, hi ids.ID
+}
+
+type subrange struct {
+	lo, hi  ids.ID
+	local   bool // handled by local recursion, not a network child
+	done    bool
+	retries int
+	timer   *simnet.Timer
+}
+
+type task struct {
+	key      taskKey
+	query    *relq.Query
+	injector simnet.Endpoint
+	parents  []simnet.Endpoint // usually one; reissues from a new parent add more
+	acc      predictor.Predictor
+	pending  []*subrange
+	open     int
+	finished bool
+}
+
+// addParent registers a parent endpoint, deduplicated.
+func (t *task) addParent(ep simnet.Endpoint) bool {
+	for _, p := range t.parents {
+		if p == ep {
+			return false
+		}
+	}
+	t.parents = append(t.parents, ep)
+	return true
+}
+
+// HandleMessage processes a dissemination message; it reports whether the
+// payload belonged to this engine.
+func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
+	switch m := payload.(type) {
+	case *startMsg:
+		e.handleStart(m)
+	case *rangeMsg:
+		e.handleRange(m)
+	case *rangeResp:
+		e.handleResp(m)
+	case *predictorMsg:
+		if cb, ok := e.waiting[m.QueryID]; ok {
+			delete(e.waiting, m.QueryID)
+			cb(m.Pred)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// handleStart runs at the queryId root: begin the broadcast over the full
+// namespace, with the injector as the parent of the root range.
+func (e *Engine) handleStart(m *startMsg) {
+	e.beginTask(m.QueryID, m.Query, ids.ID{}, ids.MaxID, m.Injector, m.Injector)
+}
+
+func (e *Engine) handleRange(m *rangeMsg) {
+	e.beginTask(m.QueryID, m.Query, m.Lo, m.Hi, m.Parent, m.Injector)
+}
+
+// beginTask starts (or re-answers) the aggregation task for one range.
+func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, injector simnet.Endpoint) {
+	e.observe(qid, q, injector)
+	key := taskKey{qid: qid, lo: lo, hi: hi}
+	if t, ok := e.tasks[key]; ok {
+		// Duplicate request (a reissue, or a new parent after the old one
+		// died): remember the extra parent and re-answer if finished.
+		t.addParent(parent)
+		if t.finished {
+			e.respond(t)
+		}
+		return
+	}
+	t := &task{key: key, query: q, parents: []simnet.Endpoint{parent}, injector: injector}
+	e.tasks[key] = t
+
+	node := e.host.PastryNode()
+	self := node.ID()
+
+	if e.aloneInRange(lo, hi) || lo == hi {
+		// Leaf: contribute own rows (if in range) and predict on behalf of
+		// every unavailable endsystem in the range.
+		e.contributeLocal(t, lo, hi)
+		t.finished = true
+		e.respond(t)
+		return
+	}
+
+	// Split into arity equal subranges. The one containing self recurses
+	// locally (no message); the rest are routed toward their midpoints.
+	subs := splitRange(lo, hi, e.cfg.Arity)
+	var selfSub *subrange
+	for _, s := range subs {
+		if self.InRange(s.lo, s.hi) {
+			s.local = true
+			selfSub = s
+		}
+		t.pending = append(t.pending, s)
+	}
+	t.open = len(t.pending)
+	for _, s := range t.pending {
+		if !s.local {
+			e.sendSubrange(t, s)
+		}
+	}
+	if selfSub != nil {
+		// Local recursion: handle the self subrange as a child task whose
+		// parent is this node itself; its response arrives synchronously
+		// through handleResp.
+		e.beginTask(qid, q, selfSub.lo, selfSub.hi, node.Endpoint(), injector)
+	}
+	if t.open == 0 {
+		// Degenerate: arity split produced nothing (cannot happen for
+		// lo < hi, but guard anyway).
+		e.contributeLocal(t, lo, hi)
+		t.finished = true
+		e.respond(t)
+	}
+}
+
+// observe triggers the host's local execution exactly once per query.
+func (e *Engine) observe(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
+	if e.seen[qid] {
+		return
+	}
+	e.seen[qid] = true
+	e.host.QueryObserved(qid, q, injector)
+}
+
+// aloneInRange reports whether, per the local leafset, this node is the
+// only live endsystem in [lo, hi] (or the range holds no live endsystem at
+// all). Leafsets are the authoritative neighborhood view: if the nearest
+// live neighbors on both sides lie outside the range, no other live node
+// can be inside it.
+func (e *Engine) aloneInRange(lo, hi ids.ID) bool {
+	for _, m := range e.host.PastryNode().Leafset() {
+		if m.ID.InRange(lo, hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// contributeLocal adds this node's own predictor (when in range) and the
+// metadata-derived predictors of unavailable endsystems in the range.
+func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
+	node := e.host.PastryNode()
+	now := node.Ring().Scheduler().Now()
+	if node.ID().InRange(lo, hi) {
+		t.acc.AddImmediate(e.host.EstimateOwnRows(t.query))
+	}
+	nowSecs := int64(now / time.Second)
+	for _, rec := range e.host.UnavailableInRange(lo, hi) {
+		if rec.Summary == nil || rec.Model == nil {
+			continue
+		}
+		rows := rec.Summary.EstimateRows(t.query, nowSecs)
+		if rows <= 0 {
+			continue
+		}
+		if DebugContribute != nil {
+			DebugContribute(node.ID(), rec.Subject, rows)
+		}
+		t.acc.AddModel(rec.Model, now, rec.DownSince, rows)
+	}
+}
+
+// sendSubrange routes the request for one subrange toward its midpoint and
+// arms the response timeout.
+func (e *Engine) sendSubrange(t *task, s *subrange) {
+	node := e.host.PastryNode()
+	msg := &rangeMsg{QueryID: t.key.qid, Query: t.query, Lo: s.lo, Hi: s.hi,
+		Parent: node.Endpoint(), Injector: t.injector}
+	node.Route(ids.Midpoint(s.lo, s.hi), msg, rangeMsgSize(t.query), simnet.ClassQuery)
+	s.timer = node.Ring().Scheduler().After(e.cfg.ResponseTimeout, func() {
+		e.subrangeTimeout(t, s)
+	})
+}
+
+// subrangeTimeout reissues an unanswered subrange request, or gives up
+// after MaxRetries (the contribution is then missing from the predictor —
+// the paper's "with high probability" caveat).
+func (e *Engine) subrangeTimeout(t *task, s *subrange) {
+	if s.done || t.finished || !e.host.PastryNode().Alive() {
+		return
+	}
+	if s.retries >= e.cfg.MaxRetries {
+		s.done = true
+		t.open--
+		e.maybeFinish(t)
+		return
+	}
+	s.retries++
+	e.sendSubrange(t, s)
+}
+
+// handleResp folds a child's aggregated predictor into the parent task.
+// Each subrange appears in exactly one task's pending list, and a done
+// flag makes duplicate responses (from reissued requests) count exactly
+// once.
+func (e *Engine) handleResp(m *rangeResp) {
+	for _, t := range e.tasks {
+		if t.key.qid != m.QueryID || t.finished {
+			continue
+		}
+		for _, s := range t.pending {
+			if s.lo == m.Lo && s.hi == m.Hi {
+				if s.done {
+					return // duplicate: counted exactly once
+				}
+				s.done = true
+				if s.timer != nil {
+					s.timer.Cancel()
+				}
+				t.acc.Merge(m.Pred)
+				t.open--
+				e.maybeFinish(t)
+				return
+			}
+		}
+	}
+}
+
+// maybeFinish completes a task when every subrange has answered (or been
+// abandoned).
+func (e *Engine) maybeFinish(t *task) {
+	if t.finished || t.open > 0 {
+		return
+	}
+	t.finished = true
+	e.respond(t)
+	// Retain finished tasks briefly so reissued requests get the cached
+	// answer, then reclaim the memory.
+	sched := e.host.PastryNode().Ring().Scheduler()
+	sched.After(2*time.Minute, func() { delete(e.tasks, t.key) })
+}
+
+// respond sends the task's aggregated predictor to its parents: a
+// rangeResp for interior tasks, or the final predictorMsg when the parent
+// is the injector (full-namespace task). Parents deduplicate per
+// subrange, so answering every registered parent preserves exactly-once
+// counting.
+func (e *Engine) respond(t *task) {
+	node := e.host.PastryNode()
+	pred := t.acc // copy
+	net := node.Ring().Network()
+	for _, parent := range t.parents {
+		switch {
+		case t.key.lo.IsZero() && t.key.hi == ids.MaxID:
+			// Root task: deliver the final predictor to the injector.
+			net.Send(node.Endpoint(), parent, ids.Bytes+predictor.EncodedSize,
+				simnet.ClassQuery, &predictorMsg{QueryID: t.key.qid, Pred: &pred})
+		case parent == node.Endpoint():
+			// Self-recursion: deliver locally without a network hop.
+			e.handleResp(&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred})
+		default:
+			net.Send(node.Endpoint(), parent, rangeRespSize(), simnet.ClassQuery,
+				&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred})
+		}
+	}
+}
+
+// splitRange divides the inclusive range [lo, hi] into up to arity
+// contiguous, non-overlapping, equal-width inclusive subranges covering it
+// exactly.
+func splitRange(lo, hi ids.ID, arity int) []*subrange {
+	span := hi.Sub(lo)
+	var out []*subrange
+	// width = floor(span/arity) computed via repeated halving for powers
+	// of two, or long division in the general case.
+	width := divByUint(span, uint64(arity))
+	cur := lo
+	for i := 0; i < arity; i++ {
+		var end ids.ID
+		if i == arity-1 {
+			end = hi
+		} else {
+			end = cur.Add(width)
+		}
+		if end.Less(cur) { // overflow guard
+			end = hi
+		}
+		out = append(out, &subrange{lo: cur, hi: end})
+		if end == hi {
+			break
+		}
+		cur = end.AddUint64(1)
+	}
+	return out
+}
+
+// divByUint divides a 128-bit value by a small unsigned integer.
+func divByUint(v ids.ID, by uint64) ids.ID {
+	hi := v.Hi / by
+	rem := v.Hi % by
+	// Combine remainder with low word: (rem * 2^64 + v.Lo) / by, done in
+	// two 64-bit steps to avoid overflow (rem < by <= 2^32 assumed).
+	lo := rem<<32 | v.Lo>>32
+	q1 := lo / by
+	r1 := lo % by
+	lo2 := r1<<32 | v.Lo&0xffffffff
+	q2 := lo2 / by
+	return ids.ID{Hi: hi, Lo: q1<<32 | q2}
+}

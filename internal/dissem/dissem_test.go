@@ -1,0 +1,335 @@
+package dissem
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/ids"
+	"repro/internal/metadata"
+	"repro/internal/pastry"
+	"repro/internal/predictor"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// testHost is a minimal Seaweed node for dissemination tests: a fixed local
+// row count and a metadata service.
+type testHost struct {
+	node     *pastry.Node
+	meta     *metadata.Service
+	engine   *Engine
+	rows     float64
+	observed int
+}
+
+func (h *testHost) PastryNode() *pastry.Node              { return h.node }
+func (h *testHost) EstimateOwnRows(q *relq.Query) float64 { return h.rows }
+func (h *testHost) UnavailableInRange(lo, hi ids.ID) []*metadata.Record {
+	return h.meta.UnavailableInRange(lo, hi)
+}
+func (h *testHost) QueryObserved(qid ids.ID, q *relq.Query, injector simnet.Endpoint) { h.observed++ }
+
+// Deliver dispatches to the engine first, then the metadata service.
+func (h *testHost) Deliver(key ids.ID, from simnet.Endpoint, payload any) {
+	if h.engine.HandleMessage(from, payload) {
+		return
+	}
+	h.meta.HandleMessage(payload)
+}
+
+func (h *testHost) LeafsetChanged() {
+	if h.meta != nil {
+		h.meta.HandleLeafsetChanged()
+	}
+}
+
+type cluster struct {
+	sched *simnet.Scheduler
+	ring  *pastry.Ring
+	hosts []*testHost
+}
+
+func newCluster(t *testing.T, n int, seed int64, cfg Config) *cluster {
+	t.Helper()
+	c := &cluster{sched: simnet.NewScheduler()}
+	topo := simnet.UniformTopology(4, 10*time.Millisecond, time.Millisecond)
+	ncfg := simnet.DefaultNetworkConfig()
+	ncfg.Seed = seed
+	net := simnet.NewNetwork(c.sched, topo, n, ncfg)
+	pcfg := pastry.DefaultConfig()
+	pcfg.Seed = seed
+	c.ring = pastry.NewRing(net, pcfg)
+	rng := rand.New(rand.NewSource(seed))
+	idList := ids.RandomN(rng, n)
+	c.hosts = make([]*testHost, n)
+	eps := make([]simnet.Endpoint, n)
+	for i := 0; i < n; i++ {
+		h := &testHost{rows: float64(i + 1)}
+		c.hosts[i] = h
+		h.node = c.ring.AddNode(simnet.Endpoint(i), idList[i], h)
+		h.meta = metadata.NewService(h.node, metadata.DefaultConfig(), seed+int64(i))
+		h.meta.SetLocalMetadata(rowSummary(t, i+1), periodicModel())
+		h.engine = NewEngine(h, cfg)
+		eps[i] = simnet.Endpoint(i)
+	}
+	c.ring.BootstrapAll(eps)
+	for _, h := range c.hosts {
+		h.meta.Activate()
+	}
+	return c
+}
+
+// rowSummary builds a summary whose estimate for the test query is exactly
+// rows (a single indexed column where every row matches Bytes >= 0).
+func rowSummary(t *testing.T, rows int) *relq.Summary {
+	t.Helper()
+	tbl := relq.NewTable(relq.Schema{
+		Name:    "Flow",
+		Columns: []relq.Column{{Name: "Bytes", Type: relq.TInt, Indexed: true}},
+	})
+	for r := 0; r < rows; r++ {
+		tbl.Insert(int64(r))
+	}
+	return relq.NewSummary(tbl)
+}
+
+func periodicModel() *avail.Model {
+	m := &avail.Model{}
+	for d := 0; d < 10; d++ {
+		m.ObserveUpEvent(time.Duration(d)*avail.Day+8*time.Hour, 14*time.Hour)
+	}
+	return m
+}
+
+var testQuery = relq.MustParse("SELECT COUNT(*) FROM Flow WHERE Bytes >= 0")
+
+func TestPredictorAllLive(t *testing.T) {
+	n := 64
+	c := newCluster(t, n, 1, DefaultConfig())
+	c.sched.RunUntil(time.Minute)
+
+	var got *predictor.Predictor
+	injectAt := c.sched.Now()
+	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.sched.RunUntil(injectAt + 2*time.Minute)
+	if got == nil {
+		t.Fatal("no predictor arrived")
+	}
+	// All nodes live: total rows = 1+2+...+n, all immediate.
+	want := float64(n * (n + 1) / 2)
+	if math.Abs(got.ExpectedTotal()-want) > 0.5 {
+		t.Fatalf("predictor total = %v, want %v", got.ExpectedTotal(), want)
+	}
+	if math.Abs(got.Immediate-want) > 0.5 {
+		t.Fatalf("immediate = %v, want all rows immediate", got.Immediate)
+	}
+}
+
+func TestEveryNodeObservesQueryOnce(t *testing.T) {
+	n := 96
+	c := newCluster(t, n, 2, DefaultConfig())
+	c.sched.RunUntil(time.Minute)
+	c.hosts[5].engine.Inject(testQuery, func(*predictor.Predictor) {})
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	for i, h := range c.hosts {
+		if h.observed != 1 {
+			t.Fatalf("node %d observed query %d times, want 1", i, h.observed)
+		}
+	}
+}
+
+func TestPredictorLatencySeconds(t *testing.T) {
+	c := newCluster(t, 128, 3, DefaultConfig())
+	c.sched.RunUntil(time.Minute)
+	injectAt := c.sched.Now()
+	var arrived time.Duration
+	c.hosts[0].engine.Inject(testQuery, func(*predictor.Predictor) { arrived = c.sched.Now() })
+	c.sched.RunUntil(injectAt + time.Minute)
+	if arrived == 0 {
+		t.Fatal("no predictor")
+	}
+	lat := arrived - injectAt
+	// The paper reports 3.1s at 2,000 endsystems; at 128 nodes with a
+	// 10ms-RTT topology, the predictor should arrive within a few seconds.
+	if lat > 10*time.Second {
+		t.Fatalf("predictor latency %v too high", lat)
+	}
+}
+
+func TestPredictorCoversUnavailableEndsystems(t *testing.T) {
+	n := 64
+	c := newCluster(t, n, 4, DefaultConfig())
+	c.sched.RunUntil(time.Minute)
+
+	// Kill 10 nodes; wait for the metadata layer to mark them down.
+	rng := rand.New(rand.NewSource(7))
+	dead := map[int]bool{}
+	for len(dead) < 10 {
+		i := rng.Intn(n)
+		if i == 0 || dead[i] {
+			continue
+		}
+		dead[i] = true
+		c.hosts[i].meta.Deactivate()
+		c.hosts[i].node.Stop()
+	}
+	c.sched.RunUntil(c.sched.Now() + 10*time.Minute)
+
+	var got *predictor.Predictor
+	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	if got == nil {
+		t.Fatal("no predictor")
+	}
+	var liveRows, deadRows float64
+	for i, h := range c.hosts {
+		if dead[i] {
+			deadRows += h.rows
+		} else {
+			liveRows += h.rows
+		}
+	}
+	if math.Abs(got.Immediate-liveRows) > 0.5 {
+		t.Fatalf("immediate = %v, want %v (live rows)", got.Immediate, liveRows)
+	}
+	// Dead endsystems' rows come from replicated summaries; nearly all
+	// should be covered (allowing a straggler whose metadata was missed).
+	future := got.ExpectedTotal() - got.Immediate
+	if future < deadRows*0.8 {
+		t.Fatalf("future rows = %v, want ≈%v from unavailable endsystems", future, deadRows)
+	}
+	if future > deadRows*1.2 {
+		t.Fatalf("future rows = %v exceed dead rows %v (double counting?)", future, deadRows)
+	}
+}
+
+func TestBinaryArity(t *testing.T) {
+	n := 48
+	c := newCluster(t, n, 5, Config{Arity: 2, ResponseTimeout: 5 * time.Second, MaxRetries: 3})
+	c.sched.RunUntil(time.Minute)
+	var got *predictor.Predictor
+	c.hosts[1].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.sched.RunUntil(c.sched.Now() + 5*time.Minute)
+	if got == nil {
+		t.Fatal("no predictor with binary tree")
+	}
+	want := float64(n * (n + 1) / 2)
+	if math.Abs(got.ExpectedTotal()-want) > 0.5 {
+		t.Fatalf("binary-tree total = %v, want %v", got.ExpectedTotal(), want)
+	}
+}
+
+func TestChurnDuringDissemination(t *testing.T) {
+	// Nodes die while the query disseminates; the predictor must still
+	// arrive and cover a sane total (no double counting).
+	n := 96
+	c := newCluster(t, n, 6, DefaultConfig())
+	c.sched.RunUntil(time.Minute)
+	rng := rand.New(rand.NewSource(8))
+	injectAt := c.sched.Now()
+	var got *predictor.Predictor
+	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	// Kill 5 random nodes within the dissemination window.
+	for i := 0; i < 5; i++ {
+		victim := 1 + rng.Intn(n-1)
+		at := injectAt + time.Duration(rng.Int63n(int64(2*time.Second)))
+		c.sched.At(at, func() {
+			if c.hosts[victim].node.Alive() {
+				c.hosts[victim].meta.Deactivate()
+				c.hosts[victim].node.Stop()
+			}
+		})
+	}
+	c.sched.RunUntil(injectAt + 5*time.Minute)
+	if got == nil {
+		t.Fatal("predictor lost under churn")
+	}
+	want := float64(n * (n + 1) / 2)
+	// Some contributions may be missing (nodes died mid-protocol) but the
+	// total must never exceed the true total by more than rounding, and
+	// should cover the vast majority of it.
+	if got.ExpectedTotal() > want*1.05 {
+		t.Fatalf("total %v exceeds true rows %v: double counting", got.ExpectedTotal(), want)
+	}
+	if got.ExpectedTotal() < want*0.7 {
+		t.Fatalf("total %v far below true rows %v", got.ExpectedTotal(), want)
+	}
+}
+
+func TestSplitRangeProperties(t *testing.T) {
+	f := func(aHi, aLo, bHi, bLo uint64, arityRaw uint8) bool {
+		lo := ids.ID{Hi: aHi, Lo: aLo}
+		hi := ids.ID{Hi: bHi, Lo: bLo}
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		arity := 2 + int(arityRaw%15)
+		subs := splitRange(lo, hi, arity)
+		if len(subs) == 0 || len(subs) > arity {
+			return false
+		}
+		// Exact disjoint cover.
+		if subs[0].lo != lo || subs[len(subs)-1].hi != hi {
+			return false
+		}
+		for i, s := range subs {
+			if s.hi.Less(s.lo) {
+				return false
+			}
+			if i > 0 && s.lo != subs[i-1].hi.AddUint64(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByUintMatchesBigInt(t *testing.T) {
+	f := func(hi, lo uint64, byRaw uint8) bool {
+		by := uint64(byRaw)%100 + 1
+		v := ids.ID{Hi: hi, Lo: lo}
+		got := divByUint(v, by)
+		b := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		b.Add(b, new(big.Int).SetUint64(lo))
+		b.Div(b, new(big.Int).SetUint64(by))
+		wantHi := new(big.Int).Rsh(b, 64).Uint64()
+		wantLo := new(big.Int).And(b, new(big.Int).SetUint64(^uint64(0))).Uint64()
+		return got.Hi == wantHi && got.Lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryIDDistinctPerInjection(t *testing.T) {
+	a := QueryID(testQuery, time.Second)
+	b := QueryID(testQuery, 2*time.Second)
+	if a == b {
+		t.Fatal("same query at different times must get different queryIds")
+	}
+	if QueryID(testQuery, time.Second) != a {
+		t.Fatal("queryId not deterministic")
+	}
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	c := newCluster(t, 1, 9, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	var got *predictor.Predictor
+	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+	if got == nil {
+		t.Fatal("single-node query produced no predictor")
+	}
+	if got.ExpectedTotal() != 1 {
+		t.Fatalf("total = %v, want 1", got.ExpectedTotal())
+	}
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/anemone"
+	"repro/internal/avail"
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/model"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// These ablations quantify the design choices DESIGN.md calls out.
+
+// ArityAblationResult compares dissemination-tree fan-outs: the paper
+// describes a binary tree but implements a 2^b-ary one.
+type ArityAblationResult struct {
+	Arities          []int
+	QueryBytes       []float64 // dissemination+prediction bytes per endsystem
+	PredictorLatency []time.Duration
+}
+
+// AblationDissemArity injects the Figure 9 query under different
+// subdivision arities and measures per-endsystem query bytes and predictor
+// latency.
+func AblationDissemArity(s Scale, arities []int) *ArityAblationResult {
+	r := &ArityAblationResult{Arities: arities}
+	for _, arity := range arities {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
+		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+		cfg.Node.Dissem.Arity = arity
+		c := core.NewCluster(cfg)
+		injectAt := s.PacketHorizon / 2
+		c.RunUntil(injectAt)
+		before := c.Net.Stats().TotalTx(simnet.ClassQuery)
+		h := c.InjectQuery(firstLive(c), relq.MustParse(Fig9Query))
+		c.RunUntil(injectAt + 10*time.Minute)
+		after := c.Net.Stats().TotalTx(simnet.ClassQuery)
+		r.QueryBytes = append(r.QueryBytes, (after-before)/float64(s.PacketN))
+		lat := time.Duration(0)
+		if h.Predictor != nil {
+			lat = h.PredictorAt - h.Injected
+		}
+		r.PredictorLatency = append(r.PredictorLatency, lat)
+	}
+	return r
+}
+
+// Render writes the comparison.
+func (r *ArityAblationResult) Render(w io.Writer) {
+	header(w, "Ablation: dissemination tree arity (binary vs 2^b-ary)",
+		"arity", "query_bytes_per_endsystem", "predictor_latency")
+	for i, a := range r.Arities {
+		row(w, a, r.QueryBytes[i], r.PredictorLatency[i])
+	}
+}
+
+// PredictorModeResult compares the availability-prediction modes.
+type PredictorModeResult struct {
+	Modes  []string
+	MaxErr []float64 // max |prediction error| % over checkpoints
+	AvgErr []float64
+}
+
+// AblationPredictorMode runs the Figure 5 experiment under the classifier
+// (the paper's design), always-periodic, and always-duration prediction.
+func AblationPredictorMode(s Scale) *PredictorModeResult {
+	trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.CompletenessN, s.Horizon, s.Seed))
+	w := anemone.DefaultConfig(s.Horizon, s.Seed)
+	w.MeanFlowsPerDay = s.FlowsPerDay
+	base := core.CompletenessConfig{
+		Trace:    trace,
+		Workload: w,
+		Query:    relq.MustParse(Fig9Query),
+		InjectAt: s.InjectAt(),
+		Lifetime: 48 * time.Hour,
+	}
+	modes := []struct {
+		name string
+		mode avail.PredictionMode
+	}{
+		{"classified", avail.ModeAuto},
+		{"always-periodic", avail.ModePeriodic},
+		{"always-duration", avail.ModeDuration},
+	}
+	out := &PredictorModeResult{}
+	for _, m := range modes {
+		cfg := base
+		cfg.Mode = m.mode
+		res := core.RunCompleteness(cfg)
+		maxE, sumE, n := 0.0, 0.0, 0.0
+		for _, d := range ErrorCheckpoints {
+			e := math.Abs(res.PredictionErrorAt(d))
+			if e > maxE {
+				maxE = e
+			}
+			sumE += e
+			n++
+		}
+		out.Modes = append(out.Modes, m.name)
+		out.MaxErr = append(out.MaxErr, maxE)
+		out.AvgErr = append(out.AvgErr, sumE/n)
+	}
+	return out
+}
+
+// Render writes the comparison.
+func (r *PredictorModeResult) Render(w io.Writer) {
+	header(w, "Ablation: availability prediction mode (Figure 5 query)",
+		"mode", "max_abs_err_pct", "avg_abs_err_pct")
+	for i := range r.Modes {
+		row(w, r.Modes[i], r.MaxErr[i], r.AvgErr[i])
+	}
+}
+
+// HistogramAblationResult compares histogram kinds at equal bucket budget.
+type HistogramAblationResult struct {
+	Queries   []string
+	StepErr   []float64 // step (SQL Server-style equi-depth) error %
+	WidthErr  []float64 // equi-width error %
+	StepSize  []int     // encoded bytes
+	WidthSize []int
+}
+
+// AblationHistogram measures row-count estimation error of the two numeric
+// histogram kinds on the paper's queries, averaged over several
+// endsystems.
+func AblationHistogram(s Scale) *HistogramAblationResult {
+	w := anemone.DefaultConfig(s.Horizon, s.Seed)
+	w.MeanFlowsPerDay = s.FlowsPerDay
+	out := &HistogramAblationResult{}
+	const sample = 40
+	for _, spec := range PaperQueries {
+		q := relq.MustParse(spec.SQL)
+		if len(q.Preds) != 1 || q.Preds[0].Val.IsString {
+			// The histogram ablation targets numeric predicates; App='SMB'
+			// uses the frequency histogram in both designs.
+			continue
+		}
+		pred := q.Preds[0]
+		var stepErrSum, widthErrSum float64
+		var stepSize, widthSize int
+		n := 0
+		for i := 0; i < sample; i++ {
+			ds := anemone.Generate(w, i)
+			tbl := ds.Flow
+			col := tbl.Schema().ColumnIndex(pred.Col)
+			if col < 0 {
+				continue
+			}
+			values := columnValues(tbl, pred.Col)
+			exact, err := tbl.CountMatching(q, 0)
+			if err != nil || exact == 0 {
+				continue
+			}
+			step := histogram.BuildEquiDepth(append([]int64(nil), values...), relq.HistogramBuckets)
+			width := histogram.BuildEquiWidth(values, relq.HistogramBuckets)
+			stepErrSum += math.Abs(estimate(step, pred)-float64(exact)) / float64(exact)
+			widthErrSum += math.Abs(estimate(width, pred)-float64(exact)) / float64(exact)
+			stepSize += len(step.Encode(nil))
+			widthSize += len(width.Encode(nil))
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out.Queries = append(out.Queries, spec.SQL)
+		out.StepErr = append(out.StepErr, 100*stepErrSum/float64(n))
+		out.WidthErr = append(out.WidthErr, 100*widthErrSum/float64(n))
+		out.StepSize = append(out.StepSize, stepSize/n)
+		out.WidthSize = append(out.WidthSize, widthSize/n)
+	}
+	return out
+}
+
+// columnValues extracts one column of a table via its summary-facing API.
+func columnValues(tbl *relq.Table, col string) []int64 {
+	// relq keeps storage private; re-run the generator-level extraction by
+	// scanning with a match-all plan and accumulating the aggregate column.
+	return tbl.ColumnValues(col)
+}
+
+// estimate evaluates a single predicate against a histogram.
+func estimate(h histogram.Histogram, p relq.Pred) float64 {
+	rhs := p.Val.Resolve(0)
+	switch p.Op {
+	case relq.OpEq:
+		return h.EstimateEq(rhs)
+	case relq.OpLt:
+		return h.EstimateRange(math.MinInt64, rhs-1)
+	case relq.OpLe:
+		return h.EstimateRange(math.MinInt64, rhs)
+	case relq.OpGt:
+		return h.EstimateRange(rhs+1, math.MaxInt64)
+	case relq.OpGe:
+		return h.EstimateRange(rhs, math.MaxInt64)
+	default:
+		return 0
+	}
+}
+
+// Render writes the comparison.
+func (r *HistogramAblationResult) Render(w io.Writer) {
+	header(w, "Ablation: histogram kind at equal bucket budget",
+		"query", "step_err_pct", "width_err_pct", "step_bytes", "width_bytes")
+	for i := range r.Queries {
+		row(w, r.Queries[i], r.StepErr[i], r.WidthErr[i], r.StepSize[i], r.WidthSize[i])
+	}
+}
+
+// PushPeriodResult sweeps the metadata push period.
+type PushPeriodResult struct {
+	Periods      []time.Duration
+	ModelBytesPS []float64 // analytic systemwide maintenance B/s at paper scale
+	SimMeanBPS   []float64 // measured per-online-endsystem B/s in a small cluster
+}
+
+// AblationPushPeriod quantifies the maintenance-bandwidth cost of the push
+// period, analytically at paper scale and measured in a small cluster.
+func AblationPushPeriod(s Scale, periods []time.Duration) *PushPeriodResult {
+	out := &PushPeriodResult{Periods: periods}
+	base := model.PaperDefaults()
+	for _, period := range periods {
+		p := base
+		p.P = 1 / period.Seconds()
+		out.ModelBytesPS = append(out.ModelBytesPS, model.MaintenanceOverhead(model.Seaweed, p))
+
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
+		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+		cfg.Node.Meta.PushPeriod = period
+		c := core.NewCluster(cfg)
+		c.RunUntil(s.PacketHorizon)
+		st := c.Net.Stats()
+		stats := trace.ComputeStats()
+		onlineSeconds := stats.MeanAvailability * float64(s.PacketN) * s.PacketHorizon.Seconds()
+		out.SimMeanBPS = append(out.SimMeanBPS, st.TotalTx(simnet.ClassMaintenance)/onlineSeconds)
+	}
+	return out
+}
+
+// Render writes the sweep.
+func (r *PushPeriodResult) Render(w io.Writer) {
+	header(w, "Ablation: metadata push period",
+		"period", "model_systemwide_Bps", "sim_per_online_endsystem_Bps")
+	for i := range r.Periods {
+		row(w, fmtDuration(r.Periods[i]), r.ModelBytesPS[i], r.SimMeanBPS[i])
+	}
+}
+
+// VertexReplicaResult sweeps the aggregation-tree replica-group size m.
+type VertexReplicaResult struct {
+	Backups        []int
+	ResultCoverage []float64 // fraction of submitted rows surviving the kill wave
+	QueryBytes     []float64 // per-endsystem query-class bytes
+}
+
+// AblationVertexReplicas measures the exactly-once robustness bought by
+// vertex replica groups: all endsystems submit, then 25% of them are
+// killed, and the surviving fraction of the aggregate at the injector is
+// recorded.
+func AblationVertexReplicas(s Scale, backups []int) *VertexReplicaResult {
+	out := &VertexReplicaResult{Backups: backups}
+	for _, m := range backups {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
+		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+		cfg.Node.Agg.Backups = m
+		c := core.NewCluster(cfg)
+		injectAt := s.PacketHorizon / 2
+		c.RunUntil(injectAt)
+		q := relq.MustParse("SELECT COUNT(*) FROM Flow")
+		h := c.InjectQuery(firstLive(c), q)
+		c.RunUntil(injectAt + 15*time.Minute)
+		before, _ := h.Latest()
+
+		// Kill a quarter of the live endsystems (sparing the injector).
+		killed := 0
+		for i, n := range c.Nodes {
+			if simnet.Endpoint(i) == firstLive(c) {
+				continue
+			}
+			if n.Alive() && killed < s.PacketN/4 {
+				n.GoDown()
+				killed++
+			}
+		}
+		c.RunUntil(c.Sched.Now() + 30*time.Minute)
+		after, ok := h.Latest()
+		cov := 0.0
+		if ok && before.Partial.Count > 0 {
+			cov = float64(after.Partial.Count) / float64(before.Partial.Count)
+		}
+		out.ResultCoverage = append(out.ResultCoverage, cov)
+		st := c.Net.Stats()
+		out.QueryBytes = append(out.QueryBytes, st.TotalTx(simnet.ClassQuery)/float64(s.PacketN))
+	}
+	return out
+}
+
+// Render writes the sweep.
+func (r *VertexReplicaResult) Render(w io.Writer) {
+	header(w, "Ablation: aggregation-tree vertex replica groups (kill 25% after submit)",
+		"backups_m", "result_coverage", "query_bytes_per_endsystem")
+	for i := range r.Backups {
+		row(w, r.Backups[i], r.ResultCoverage[i], r.QueryBytes[i])
+	}
+}
+
+// DeltaPushResult compares full vs delta-encoded metadata pushes under
+// live data updates.
+type DeltaPushResult struct {
+	FullBytes  float64 // maintenance bytes, full pushes
+	DeltaBytes float64 // maintenance bytes, delta-encoded pushes
+}
+
+// Saving returns the fractional bandwidth saving of delta encoding.
+func (r *DeltaPushResult) Saving() float64 {
+	if r.FullBytes == 0 {
+		return 0
+	}
+	return 1 - r.DeltaBytes/r.FullBytes
+}
+
+// AblationDeltaPush measures §3.2.2's proposed optimization: a cluster
+// with live data updates run twice, with full and with delta-encoded
+// summary pushes.
+func AblationDeltaPush(s Scale) *DeltaPushResult {
+	run := func(delta bool) float64 {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
+		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+		cfg.Feed = core.FeedConfig{Enabled: true, Period: 30 * time.Minute}
+		cfg.Node.Meta.DeltaPush = delta
+		c := core.NewCluster(cfg)
+		c.RunUntil(s.PacketHorizon)
+		return c.Net.Stats().TotalTx(simnet.ClassMaintenance)
+	}
+	return &DeltaPushResult{FullBytes: run(false), DeltaBytes: run(true)}
+}
+
+// Render writes the comparison.
+func (r *DeltaPushResult) Render(w io.Writer) {
+	header(w, "Ablation: delta-encoded metadata pushes (live data updates)",
+		"mode", "maintenance_bytes")
+	row(w, "full", r.FullBytes)
+	row(w, "delta", r.DeltaBytes)
+	fmt.Fprintf(w, "# saving: %.1f%%"+"\n", 100*r.Saving())
+}

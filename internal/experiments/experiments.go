@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). Each experiment is a function returning a typed
+// result with a text rendering; the cmd/seaweed-* binaries and the
+// top-level benchmarks are thin wrappers over this package.
+//
+// Experiments take a Scale so the same code serves both quick runs
+// (benchmarks, default CLI) and paper-scale runs (the --full flag of the
+// CLI): absolute magnitudes shift with scale but the shape claims the
+// paper makes are scale-stable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/avail"
+)
+
+// Scale sets the size of the simulated deployments.
+type Scale struct {
+	// CompletenessN is the endsystem count for availability-level
+	// completeness experiments (paper: 51,663).
+	CompletenessN int
+	// PacketN is the endsystem count for packet-level experiments
+	// (paper: 20,000 for Figure 9(a,b), 8,000 for 9(c), up to 51,663 for
+	// 9(d), 7,602 for Figure 10).
+	PacketN int
+	// Horizon is the trace length including warmup (paper: ~5 weeks).
+	Horizon time.Duration
+	// PacketHorizon is the simulated span for packet-level runs.
+	PacketHorizon time.Duration
+	// FlowsPerDay scales the synthetic Anemone workload.
+	FlowsPerDay int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// QuickScale returns a scale suitable for benchmarks and fast CLI runs:
+// minutes of wall-clock in total across all experiments.
+func QuickScale() Scale {
+	return Scale{
+		CompletenessN: 2000,
+		PacketN:       400,
+		Horizon:       4 * avail.Week,
+		PacketHorizon: 3 * 24 * time.Hour,
+		FlowsPerDay:   100,
+		Seed:          1,
+	}
+}
+
+// FullScale approaches the paper's deployment sizes. Packet-level runs at
+// these sizes take tens of minutes of wall-clock time.
+func FullScale() Scale {
+	return Scale{
+		CompletenessN: 51663,
+		PacketN:       8000,
+		Horizon:       5 * avail.Week,
+		PacketHorizon: 2 * avail.Week,
+		FlowsPerDay:   200,
+		Seed:          1,
+	}
+}
+
+// InjectAt returns the standard injection instant: the Tuesday midnight of
+// the trace's final full week, leaving everything before it as model
+// warmup (the paper injects on Tuesday 20th July 1999 at 00:00 after a
+// two-week warmup).
+func (s Scale) InjectAt() time.Duration {
+	return s.Horizon - avail.Week + avail.Day
+}
+
+// row prints one aligned data row.
+func row(w io.Writer, cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(w, "%.4g", v)
+		default:
+			fmt.Fprintf(w, "%v", v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// header prints a commented header line.
+func header(w io.Writer, title string, cols ...string) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprint(w, "# ")
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// fmtDuration renders durations compactly for tables.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.3gh", d.Hours())
+	}
+}

@@ -1,0 +1,277 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func exactRange(values []int64, lo, hi int64) float64 {
+	var n float64
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+func uniformValues(rng *rand.Rand, n int, lo, hi int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	return out
+}
+
+func TestEquiWidthUniformAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := uniformValues(rng, 100000, 0, 65535)
+	h := BuildEquiWidth(values, 64)
+	// Ranges are wide enough that sampling noise in the test data itself
+	// stays well under the asserted tolerance.
+	for _, c := range [][2]int64{{0, 65535}, {0, 8000}, {1024, 4096}, {10000, 50000}} {
+		exact := exactRange(values, c[0], c[1])
+		est := h.EstimateRange(c[0], c[1])
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(est-exact) / exact
+		if rel > 0.10 {
+			t.Errorf("range [%d,%d]: est %.0f vs exact %.0f (%.1f%% error)",
+				c[0], c[1], est, exact, rel*100)
+		}
+	}
+}
+
+func TestEquiDepthSkewedBeatsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Heavy-tailed (Zipf-ish): most mass near 0.
+	values := make([]int64, 50000)
+	for i := range values {
+		values[i] = int64(math.Floor(math.Pow(rng.Float64(), 4) * 100000))
+	}
+	cp := make([]int64, len(values))
+	copy(cp, values)
+	h := BuildEquiDepth(cp, 64)
+	for _, c := range [][2]int64{{0, 100}, {0, 1000}, {20000, 100000}, {50000, 60000}} {
+		exact := exactRange(values, c[0], c[1])
+		est := h.EstimateRange(c[0], c[1])
+		if exact < 100 {
+			continue
+		}
+		rel := math.Abs(est-exact) / exact
+		if rel > 0.15 {
+			t.Errorf("skewed range [%d,%d]: est %.0f vs exact %.0f (%.1f%% error)",
+				c[0], c[1], est, exact, rel*100)
+		}
+	}
+}
+
+func TestFrequencyExact(t *testing.T) {
+	values := []int64{80, 80, 80, 443, 445, 445, 8080}
+	h := BuildFrequency(values, 100)
+	if h == nil {
+		t.Fatal("BuildFrequency returned nil under maxDistinct")
+	}
+	if got := h.EstimateEq(80); got != 3 {
+		t.Errorf("Eq(80) = %v, want 3", got)
+	}
+	if got := h.EstimateEq(81); got != 0 {
+		t.Errorf("Eq(81) = %v, want 0", got)
+	}
+	if got := h.EstimateRange(100, 1000); got != 3 {
+		t.Errorf("Range[100,1000] = %v, want 3 (443 + 2x445)", got)
+	}
+	if got := h.EstimateRange(0, 10000); got != 7 {
+		t.Errorf("full range = %v, want 7", got)
+	}
+	if h.TotalRows() != 7 {
+		t.Errorf("TotalRows = %v", h.TotalRows())
+	}
+}
+
+func TestFrequencyCardinalityLimit(t *testing.T) {
+	values := make([]int64, 100)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	if h := BuildFrequency(values, 50); h != nil {
+		t.Error("exceeding maxDistinct must return nil")
+	}
+	if h := BuildFrequency(values, 100); h == nil {
+		t.Error("exactly maxDistinct must succeed")
+	}
+}
+
+func TestEmptyHistograms(t *testing.T) {
+	for _, h := range []Histogram{
+		BuildEquiWidth(nil, 8),
+		BuildEquiDepth(nil, 8),
+		BuildFrequency(nil, 8),
+	} {
+		if h.TotalRows() != 0 {
+			t.Errorf("%T: TotalRows = %d", h, h.TotalRows())
+		}
+		if h.EstimateRange(0, 100) != 0 || h.EstimateEq(5) != 0 {
+			t.Errorf("%T: empty histogram must estimate 0", h)
+		}
+		// Round trip of empty histograms.
+		dec, rest, err := Decode(h.Encode(nil))
+		if err != nil || len(rest) != 0 {
+			t.Errorf("%T: decode failed: %v", h, err)
+		}
+		if dec.TotalRows() != 0 {
+			t.Errorf("%T: decoded total = %d", h, dec.TotalRows())
+		}
+	}
+}
+
+func TestSingleValueColumn(t *testing.T) {
+	values := []int64{42, 42, 42, 42}
+	hw := BuildEquiWidth(values, 8)
+	if got := hw.EstimateRange(42, 42); got != 4 {
+		t.Errorf("equi-width single value range = %v", got)
+	}
+	if got := hw.EstimateEq(42); got != 4 {
+		t.Errorf("equi-width single value eq = %v", got)
+	}
+	hd := BuildEquiDepth(append([]int64(nil), values...), 8)
+	if got := hd.EstimateRange(42, 42); got != 4 {
+		t.Errorf("equi-depth single value range = %v", got)
+	}
+	if got := hd.EstimateRange(0, 41); got != 0 {
+		t.Errorf("equi-depth out of range = %v", got)
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	values := []int64{-100, -50, 0, 50, 100}
+	h := BuildEquiWidth(values, 4)
+	if got := h.EstimateRange(-100, 100); math.Abs(got-5) > 0.01 {
+		t.Errorf("full range over negatives = %v, want 5", got)
+	}
+	hd := BuildEquiDepth(append([]int64(nil), values...), 2)
+	if got := hd.EstimateRange(-100, 100); math.Abs(got-5) > 0.01 {
+		t.Errorf("equi-depth full range = %v, want 5", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := uniformValues(rng, 10000, -1000, 100000)
+
+	hists := []Histogram{
+		BuildEquiWidth(values, 32),
+		BuildEquiDepth(append([]int64(nil), values...), 32),
+		BuildFrequency([]int64{1, 1, 2, 3, 3, 3}, 10),
+	}
+	for _, h := range hists {
+		enc := h.Encode(nil)
+		dec, rest, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%T: %v", h, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%T: %d trailing bytes", h, len(rest))
+		}
+		if dec.TotalRows() != h.TotalRows() {
+			t.Fatalf("%T: total %d vs %d", h, dec.TotalRows(), h.TotalRows())
+		}
+		for _, c := range [][2]int64{{-1000, 100000}, {0, 500}, {1, 3}} {
+			a, b := h.EstimateRange(c[0], c[1]), dec.EstimateRange(c[0], c[1])
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				t.Fatalf("%T: estimate drift after round trip: %v vs %v", h, a, b)
+			}
+		}
+	}
+}
+
+func TestDecodeConcatenatedHistograms(t *testing.T) {
+	h1 := BuildFrequency([]int64{1, 2, 3}, 10)
+	h2 := BuildEquiWidth([]int64{5, 6, 7}, 4)
+	buf := h2.Encode(h1.Encode(nil))
+	d1, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, rest, err := Decode(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatal("trailing bytes after two histograms")
+	}
+	if d1.TotalRows() != 3 || d2.TotalRows() != 3 {
+		t.Fatal("concatenated decode wrong")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	if _, _, err := Decode([]byte{99}); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	good := BuildEquiWidth([]int64{1, 2, 3}, 4).Encode(nil)
+	if _, _, err := Decode(good[:len(good)-1]); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+}
+
+func TestRangeEstimateNeverExceedsTotal(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw int32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := uniformValues(rng, 500, 0, 1000)
+		lo, hi := int64(loRaw%2000), int64(hiRaw%2000)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		for _, h := range []Histogram{
+			BuildEquiWidth(values, 16),
+			BuildEquiDepth(append([]int64(nil), values...), 16),
+		} {
+			est := h.EstimateRange(lo, hi)
+			if est < 0 || est > float64(h.TotalRows())+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDepthFullRangeIsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := uniformValues(rng, 300, -500, 500)
+		h := BuildEquiDepth(values, 8)
+		est := h.EstimateRange(-500, 500)
+		return math.Abs(est-float64(h.TotalRows())) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDepthDuplicatesDontStraddle(t *testing.T) {
+	// Many duplicates of one value: boundaries must not split them.
+	values := make([]int64, 0, 1000)
+	for i := 0; i < 900; i++ {
+		values = append(values, 7)
+	}
+	for i := 0; i < 100; i++ {
+		values = append(values, int64(i*10))
+	}
+	h := BuildEquiDepth(values, 10)
+	if got := h.EstimateEq(7); math.Abs(got-900) > 450 {
+		t.Errorf("Eq(7) = %v, want near 900", got)
+	}
+	if got := h.EstimateRange(7, 7); got < 300 {
+		t.Errorf("Range[7,7] = %v, too low", got)
+	}
+}

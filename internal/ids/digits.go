@@ -1,0 +1,144 @@
+package ids
+
+import "fmt"
+
+// DigitsPerID returns the number of base-2^b digits in an identifier for a
+// given digit width b. For the typical b=4 this is 32.
+func DigitsPerID(b int) int { return Bits / b }
+
+// checkB panics unless b is a digit width that divides 64 evenly; Pastry
+// deployments use b in {1, 2, 4, 8} and the digit arithmetic below relies on
+// digits never straddling the Hi/Lo word boundary.
+func checkB(b int) {
+	switch b {
+	case 1, 2, 4, 8, 16:
+	default:
+		panic(fmt.Sprintf("ids: unsupported digit width b=%d", b))
+	}
+}
+
+// Digit returns the i-th base-2^b digit of the identifier, counting from the
+// most significant digit (i = 0).
+func (id ID) Digit(i, b int) int {
+	checkB(b)
+	n := DigitsPerID(b)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("ids: digit index %d out of range [0,%d)", i, n))
+	}
+	shift := uint(Bits - (i+1)*b)
+	word := id.Lo
+	if shift >= 64 {
+		word = id.Hi
+		shift -= 64
+	}
+	return int((word >> shift) & uint64((1<<b)-1))
+}
+
+// WithDigit returns a copy of the identifier with its i-th base-2^b digit
+// (counting from the most significant) replaced by d.
+func (id ID) WithDigit(i, b, d int) ID {
+	checkB(b)
+	n := DigitsPerID(b)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("ids: digit index %d out of range [0,%d)", i, n))
+	}
+	if d < 0 || d >= 1<<b {
+		panic(fmt.Sprintf("ids: digit value %d out of range [0,%d)", d, 1<<b))
+	}
+	mask := uint64((1 << b) - 1)
+	shift := uint(Bits - (i+1)*b)
+	if shift >= 64 {
+		shift -= 64
+		id.Hi = id.Hi&^(mask<<shift) | uint64(d)<<shift
+	} else {
+		id.Lo = id.Lo&^(mask<<shift) | uint64(d)<<shift
+	}
+	return id
+}
+
+// CommonPrefixLen returns the length, in base-2^b digits, of the longest
+// common prefix of a and b2. This is the PREFIXLENGTH operation of the
+// aggregation-tree parent function V in the Seaweed paper.
+func CommonPrefixLen(a, b2 ID, b int) int {
+	checkB(b)
+	n := DigitsPerID(b)
+	for i := 0; i < n; i++ {
+		if a.Digit(i, b) != b2.Digit(i, b) {
+			return i
+		}
+	}
+	return n
+}
+
+// CommonSuffixLen returns the length, in base-2^b digits, of the longest
+// common suffix of a and b2 (matching digits counted from the least
+// significant end). The aggregation-tree parent function V measures digit
+// agreement with the queryId this way: each application of V extends the
+// common suffix by one digit, which is what makes the vertex chain
+// converge to the queryId at the root.
+func CommonSuffixLen(a, b2 ID, b int) int {
+	checkB(b)
+	n := DigitsPerID(b)
+	for i := 0; i < n; i++ {
+		if a.Digit(n-1-i, b) != b2.Digit(n-1-i, b) {
+			return i
+		}
+	}
+	return n
+}
+
+// PrefixMask keeps the first count base-2^b digits of the identifier and
+// zeroes the rest. This is the PREFIX(id, count) operation of the paper.
+func (id ID) PrefixMask(count, b int) ID {
+	checkB(b)
+	n := DigitsPerID(b)
+	if count < 0 || count > n {
+		panic(fmt.Sprintf("ids: prefix count %d out of range [0,%d]", count, n))
+	}
+	keep := uint(count * b)
+	if keep == 0 {
+		return ID{}
+	}
+	if keep >= Bits {
+		return id
+	}
+	return id.Rsh(Bits - keep).Lsh(Bits - keep)
+}
+
+// SuffixMask keeps the last count base-2^b digits of the identifier and
+// zeroes the rest. This is the SUFFIX(id, count) operation of the paper.
+func (id ID) SuffixMask(count, b int) ID {
+	checkB(b)
+	n := DigitsPerID(b)
+	if count < 0 || count > n {
+		panic(fmt.Sprintf("ids: suffix count %d out of range [0,%d]", count, n))
+	}
+	keep := uint(count * b)
+	if keep == 0 {
+		return ID{}
+	}
+	if keep >= Bits {
+		return id
+	}
+	return id.Lsh(Bits - keep).Rsh(Bits - keep)
+}
+
+// ConcatPrefixSuffix concatenates the first prefixCount digits of p with the
+// last (DigitsPerID-prefixCount) digits of s, implementing the "+" operator
+// of the parent function V: the result keeps p's prefix and fills the
+// remaining digit positions from the tail of s.
+//
+// Specifically, for the paper's V(queryId, vertexId) the call is
+//
+//	ConcatPrefixSuffix(vertexId, 128/b-(len+1), queryId, len+1, b)
+//
+// which takes vertexId's first 128/b-(len+1) digits followed by queryId's
+// last len+1 digits.
+func ConcatPrefixSuffix(p ID, prefixCount int, s ID, suffixCount int, b int) ID {
+	checkB(b)
+	n := DigitsPerID(b)
+	if prefixCount+suffixCount != n {
+		panic(fmt.Sprintf("ids: prefix %d + suffix %d digits != %d", prefixCount, suffixCount, n))
+	}
+	return p.PrefixMask(prefixCount, b).Add(s.SuffixMask(suffixCount, b))
+}

@@ -1,0 +1,155 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigitExtraction(t *testing.T) {
+	id := MustParse("0123456789abcdef0123456789abcdef")
+	for i := 0; i < 32; i++ {
+		want := i % 16
+		if got := id.Digit(i, 4); got != want {
+			t.Errorf("digit %d = %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestDigitWidths(t *testing.T) {
+	id := MustParse("80000000000000000000000000000001")
+	if id.Digit(0, 1) != 1 {
+		t.Error("b=1 top bit")
+	}
+	if id.Digit(127, 1) != 1 {
+		t.Error("b=1 bottom bit")
+	}
+	if id.Digit(0, 8) != 0x80 {
+		t.Error("b=8 top byte")
+	}
+	if id.Digit(15, 8) != 0x01 {
+		t.Error("b=8 bottom byte")
+	}
+}
+
+func TestWithDigit(t *testing.T) {
+	id := ID{}
+	id = id.WithDigit(0, 4, 0xf)
+	id = id.WithDigit(31, 4, 0x3)
+	want := MustParse("f0000000000000000000000000000003")
+	if id != want {
+		t.Fatalf("got %v, want %v", id, want)
+	}
+	// Overwriting works too.
+	id = id.WithDigit(0, 4, 0x1)
+	if id.Digit(0, 4) != 1 {
+		t.Error("overwrite failed")
+	}
+}
+
+func TestWithDigitRoundTripProperty(t *testing.T) {
+	f := func(hi, lo uint64, iRaw, dRaw uint8) bool {
+		id := ID{Hi: hi, Lo: lo}
+		i := int(iRaw) % 32
+		d := int(dRaw) % 16
+		got := id.WithDigit(i, 4, d)
+		if got.Digit(i, 4) != d {
+			return false
+		}
+		// All other digits unchanged.
+		for j := 0; j < 32; j++ {
+			if j != i && got.Digit(j, 4) != id.Digit(j, 4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := MustParse("abcdef00000000000000000000000000")
+	b := MustParse("abcd1f00000000000000000000000000")
+	if got := CommonPrefixLen(a, b, 4); got != 4 {
+		t.Errorf("CommonPrefixLen = %d, want 4", got)
+	}
+	if got := CommonPrefixLen(a, a, 4); got != 32 {
+		t.Errorf("identical IDs: %d, want 32", got)
+	}
+	c := MustParse("1bcdef00000000000000000000000000")
+	if got := CommonPrefixLen(a, c, 4); got != 0 {
+		t.Errorf("differing first digit: %d, want 0", got)
+	}
+}
+
+func TestPrefixSuffixMask(t *testing.T) {
+	id := MustParse("0123456789abcdef0123456789abcdef")
+	if got := id.PrefixMask(4, 4); got != MustParse("01230000000000000000000000000000") {
+		t.Errorf("PrefixMask(4) = %v", got)
+	}
+	if got := id.SuffixMask(4, 4); got != MustParse("0000000000000000000000000000cdef") {
+		t.Errorf("SuffixMask(4) = %v", got)
+	}
+	if id.PrefixMask(0, 4) != (ID{}) || id.SuffixMask(0, 4) != (ID{}) {
+		t.Error("count=0 must give zero")
+	}
+	if id.PrefixMask(32, 4) != id || id.SuffixMask(32, 4) != id {
+		t.Error("count=32 must be identity")
+	}
+	// Masks spanning the 64-bit word boundary.
+	if got := id.PrefixMask(20, 4); got != MustParse("0123456789abcdef0123000000000000") {
+		t.Errorf("PrefixMask(20) = %v", got)
+	}
+	if got := id.SuffixMask(20, 4); got != MustParse("000000000000cdef0123456789abcdef") {
+		t.Errorf("SuffixMask(20) = %v", got)
+	}
+}
+
+func TestPrefixPlusSuffixReconstructsProperty(t *testing.T) {
+	// PREFIX(id,k) + SUFFIX(id,32-k) == id for all k.
+	f := func(hi, lo uint64, kRaw uint8) bool {
+		id := ID{Hi: hi, Lo: lo}
+		k := int(kRaw) % 33
+		return ConcatPrefixSuffix(id, k, id, 32-k, 4) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatPrefixSuffix(t *testing.T) {
+	p := MustParse("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	s := MustParse("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	got := ConcatPrefixSuffix(p, 8, s, 24, 4)
+	want := MustParse("aaaaaaaabbbbbbbbbbbbbbbbbbbbbbbb")
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestConcatPanicsOnBadCounts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when counts don't sum to 32")
+		}
+	}()
+	ConcatPrefixSuffix(ID{}, 8, ID{}, 8, 4)
+}
+
+func TestCommonPrefixConsistentWithDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a, b2 := Random(rng), Random(rng)
+		n := CommonPrefixLen(a, b2, 4)
+		for i := 0; i < n; i++ {
+			if a.Digit(i, 4) != b2.Digit(i, 4) {
+				t.Fatal("digits differ within common prefix")
+			}
+		}
+		if n < 32 && a.Digit(n, 4) == b2.Digit(n, 4) {
+			t.Fatal("digit matches just past common prefix")
+		}
+	}
+}

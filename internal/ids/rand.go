@@ -1,0 +1,27 @@
+package ids
+
+import "math/rand"
+
+// Random returns a uniformly random identifier drawn from rng. Seaweed's
+// simulations assign endsystemIds this way; determinism follows from the
+// caller's seed.
+func Random(rng *rand.Rand) ID {
+	return ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+}
+
+// RandomN returns n distinct uniformly random identifiers. With a 128-bit
+// namespace collisions are vanishingly unlikely, but the function
+// nevertheless guarantees distinctness so simulation node sets are valid.
+func RandomN(rng *rand.Rand, n int) []ID {
+	out := make([]ID, 0, n)
+	seen := make(map[ID]struct{}, n)
+	for len(out) < n {
+		id := Random(rng)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

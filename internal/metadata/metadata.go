@@ -1,0 +1,350 @@
+// Package metadata implements Seaweed's application-independent metadata
+// replication service (§3.2). Each endsystem's metadata — the column
+// histograms of its local database and its availability model — is
+// actively replicated on the k endsystems numerically closest to its
+// endsystemId (its replica set). Pushes happen when the endsystem
+// (re)joins, periodically while it is up, and when replica-set membership
+// changes due to churn; replicas also re-replicate records among
+// themselves as membership shifts so that the metadata of any endsystem
+// that was ever available remains available with high probability, even
+// long after the endsystem itself went down.
+//
+// Replica-set members record the time at which they notice the subject
+// endsystem become unavailable; together with the replicated availability
+// model, that is what lets any replica generate a completeness predictor
+// on the subject's behalf.
+package metadata
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/ids"
+	"repro/internal/pastry"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// Record is the replicated metadata of one endsystem.
+type Record struct {
+	Subject   ids.ID
+	Version   time.Duration // push time at the subject; newer wins
+	Summary   *relq.Summary
+	Model     *avail.Model
+	Up        bool
+	DownSince time.Duration // meaningful when !Up
+	WireSize  int           // cached encoded size of summary+model+header
+}
+
+// clone returns a copy safe to hand to another node; Summary and Model are
+// immutable by convention once published.
+func (r *Record) clone() *Record {
+	c := *r
+	return &c
+}
+
+// pushMsg replicates a record to one replica-set member.
+type pushMsg struct {
+	Rec *Record
+}
+
+// recordWireSize computes the on-the-wire size of a record push.
+func recordWireSize(sum *relq.Summary, _ *avail.Model) int {
+	const header = ids.Bytes + 8 + 8 // subject, version, flags
+	size := header + avail.EncodedModelSize
+	if sum != nil {
+		size += sum.EncodedSize()
+	}
+	return size
+}
+
+// Config parameterizes a metadata service.
+type Config struct {
+	// K is the replica-set size (paper simulation: k=8).
+	K int
+	// PushPeriod is the mean period of proactive summary pushes (paper
+	// simulation: 17.5 minutes, each endsystem choosing its phase
+	// randomly to avoid bandwidth spikes).
+	PushPeriod time.Duration
+	// EvictSlack controls when a node drops records it is no longer
+	// responsible for: a record is evicted when the node is not among the
+	// EvictSlack*K locally-closest nodes to the subject.
+	EvictSlack int
+	// DeltaPush enables delta-encoded summary pushes (§3.2.2's proposed
+	// optimization): a periodic push to a replica that already holds the
+	// previous version carries only the changed tables' histograms. The
+	// paper's baseline pushes the full histograms every period; that is
+	// the default here, and the ablation benchmarks quantify the saving.
+	DeltaPush bool
+}
+
+// DefaultConfig returns the paper's metadata configuration.
+func DefaultConfig() Config {
+	return Config{K: 8, PushPeriod: 17*time.Minute + 30*time.Second, EvictSlack: 2}
+}
+
+// Service runs the metadata protocol for one endsystem. The owning layer
+// (core.Node) forwards leafset-change upcalls and protocol messages to it.
+type Service struct {
+	cfg  Config
+	node *pastry.Node
+	rng  *rand.Rand
+
+	own      *Record
+	store    map[ids.ID]*Record
+	prevLeaf map[ids.ID]pastry.NodeRef
+	ticker   *simnet.Timer
+	// lastPushed tracks, per replica member, the summary version most
+	// recently sent to it, the base for delta-encoded pushes.
+	lastPushed map[ids.ID]*relq.Summary
+}
+
+// NewService creates the service for a node. It becomes active on
+// Activate (after the node joins the overlay).
+func NewService(node *pastry.Node, cfg Config, seed int64) *Service {
+	return &Service{
+		cfg:        cfg,
+		node:       node,
+		rng:        rand.New(rand.NewSource(seed)),
+		store:      make(map[ids.ID]*Record),
+		prevLeaf:   make(map[ids.ID]pastry.NodeRef),
+		lastPushed: make(map[ids.ID]*relq.Summary),
+	}
+}
+
+// SetLocalMetadata installs this endsystem's own summary and availability
+// model. Call before Activate and whenever either changes materially; the
+// next push carries the new version.
+func (s *Service) SetLocalMetadata(sum *relq.Summary, model *avail.Model) {
+	s.own = &Record{
+		Subject:  s.node.ID(),
+		Summary:  sum,
+		Model:    model,
+		Up:       true,
+		WireSize: recordWireSize(sum, model),
+	}
+}
+
+// Activate starts pushing: an immediate push (the (re)join push of §3.2.2)
+// followed by periodic pushes at a randomized phase.
+func (s *Service) Activate() {
+	// Fresh uptime: assume nothing about what replicas still hold, so the
+	// first push of each member is a full one.
+	s.lastPushed = make(map[ids.ID]*relq.Summary)
+	s.prevLeaf = make(map[ids.ID]pastry.NodeRef)
+	for _, m := range s.node.Leafset() {
+		s.prevLeaf[m.ID] = m
+	}
+	s.pushOwn()
+	// Randomize the phase: first tick after U(0,period), then periodic.
+	sched := s.node.Ring().Scheduler()
+	first := time.Duration(s.rng.Int63n(int64(s.cfg.PushPeriod)))
+	sched.After(first, func() {
+		if !s.node.Alive() {
+			return
+		}
+		s.pushOwn()
+		s.ticker = sched.Every(s.cfg.PushPeriod, func() {
+			if s.node.Alive() {
+				s.pushOwn()
+			}
+		})
+	})
+}
+
+// Deactivate stops periodic pushes (the endsystem went down). Stored
+// records are retained: this models the persistence of replica state
+// across the subject's downtime; a node that crashes and returns keeps its
+// persisted store, per the paper's persistent replica-set state.
+func (s *Service) Deactivate() {
+	if s.ticker != nil {
+		s.ticker.Cancel()
+		s.ticker = nil
+	}
+}
+
+// pushOwn replicates this endsystem's metadata to its replica set. With
+// DeltaPush enabled, members that already hold the previous summary
+// version are charged only the delta wire size.
+func (s *Service) pushOwn() {
+	if s.own == nil {
+		return
+	}
+	now := s.node.Ring().Scheduler().Now()
+	rec := s.own.clone()
+	rec.Version = now
+	rec.Up = true
+	s.own = rec
+	for _, m := range s.node.ReplicaSet(s.cfg.K) {
+		size := rec.WireSize
+		if s.cfg.DeltaPush && rec.Summary != nil {
+			if prev, ok := s.lastPushed[m.ID]; ok {
+				const header = 16 + 8 + 8 // subject, version, flags
+				size = header + avail.EncodedModelSize + rec.Summary.DeltaSize(prev)
+			}
+			s.lastPushed[m.ID] = rec.Summary
+		}
+		s.sendSized(m, rec, size)
+	}
+}
+
+func (s *Service) send(to pastry.NodeRef, rec *Record) {
+	s.sendSized(to, rec, rec.WireSize)
+}
+
+func (s *Service) sendSized(to pastry.NodeRef, rec *Record, size int) {
+	s.node.Ring().Network().Send(s.node.Endpoint(), to.EP, size,
+		simnet.ClassMaintenance, &pushMsg{Rec: rec})
+}
+
+// HandleMessage processes a protocol message; it reports whether the
+// payload belonged to this service.
+func (s *Service) HandleMessage(payload any) bool {
+	m, ok := payload.(*pushMsg)
+	if !ok {
+		return false
+	}
+	s.insert(m.Rec)
+	return true
+}
+
+// insert merges a received record, newest version wins. A node never
+// stores a record about itself: it is the source of that metadata, and a
+// re-replicated copy would go stale the moment it rejoins (its own pushes
+// go to its replica set, which excludes itself).
+func (s *Service) insert(rec *Record) {
+	if rec.Subject == s.node.ID() {
+		return
+	}
+	cur, ok := s.store[rec.Subject]
+	if ok && cur.Version > rec.Version {
+		return
+	}
+	c := rec.clone()
+	// A push from the subject itself means it is up; a re-replication
+	// forward carries the sender's view, which we adopt only if newer.
+	s.store[rec.Subject] = c
+}
+
+// HandleLeafsetChanged reacts to overlay membership changes around this
+// node: marking newly unavailable subjects down, forwarding records to
+// members that just entered their replica sets, and evicting records this
+// node no longer stands anywhere near.
+func (s *Service) HandleLeafsetChanged() {
+	now := s.node.Ring().Scheduler().Now()
+	cur := make(map[ids.ID]pastry.NodeRef)
+	for _, m := range s.node.Leafset() {
+		cur[m.ID] = m
+	}
+	var added []pastry.NodeRef
+	for id, ref := range cur {
+		if _, ok := s.prevLeaf[id]; !ok {
+			added = append(added, ref)
+		}
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i].ID.Less(added[j].ID) })
+	for id := range s.prevLeaf {
+		if _, ok := cur[id]; !ok {
+			// A neighbor left: if we replicate its metadata, note the time
+			// we saw it go down (§3.2.1).
+			if rec, ok := s.store[id]; ok && rec.Up {
+				rec.Up = false
+				rec.DownSince = now
+			}
+		}
+	}
+	s.prevLeaf = cur
+
+	if len(added) > 0 {
+		for _, rec := range s.sortedRecords() {
+			rs := s.localReplicaSet(rec.Subject, s.cfg.K)
+			for _, a := range added {
+				if _, in := rs[a.ID]; in {
+					s.send(a, rec)
+				}
+			}
+		}
+		if s.own != nil && s.node.Alive() {
+			rs := s.localReplicaSet(s.own.Subject, s.cfg.K)
+			for _, a := range added {
+				if _, in := rs[a.ID]; in {
+					s.send(a, s.own)
+				}
+			}
+		}
+	}
+
+	// Eviction: drop records whose replica neighborhood has drifted far
+	// from this node.
+	slack := s.cfg.EvictSlack * s.cfg.K
+	for id := range s.store {
+		if !s.withinLocalClosest(id, slack) {
+			delete(s.store, id)
+		}
+	}
+}
+
+// sortedRecords returns the stored records in subject-id order, keeping
+// the simulation deterministic where iteration order would otherwise
+// change message order between runs.
+func (s *Service) sortedRecords() []*Record {
+	out := make([]*Record, 0, len(s.store))
+	for _, rec := range s.store {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject.Less(out[j].Subject) })
+	return out
+}
+
+// localReplicaSet computes, from local knowledge (leafset ∪ self), the k
+// nodes closest to subject.
+func (s *Service) localReplicaSet(subject ids.ID, k int) map[ids.ID]pastry.NodeRef {
+	cands := append(s.node.Leafset(), s.node.Ref())
+	sort.Slice(cands, func(i, j int) bool {
+		return subject.AbsDistance(cands[i].ID).Less(subject.AbsDistance(cands[j].ID))
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make(map[ids.ID]pastry.NodeRef, len(cands))
+	for _, c := range cands {
+		out[c.ID] = c
+	}
+	return out
+}
+
+// withinLocalClosest reports whether this node is among the k locally
+// closest nodes to subject.
+func (s *Service) withinLocalClosest(subject ids.ID, k int) bool {
+	_, in := s.localReplicaSet(subject, k)[s.node.ID()]
+	return in
+}
+
+// Lookup returns the stored record for an endsystem, or nil.
+func (s *Service) Lookup(id ids.ID) *Record { return s.store[id] }
+
+// NumRecords returns the number of records stored (excluding own).
+func (s *Service) NumRecords() int { return len(s.store) }
+
+// UnavailableInRange returns the stored records of currently-down subjects
+// whose ids fall in the inclusive namespace range [lo, hi]. The
+// dissemination protocol calls this on the node responsible for a range to
+// generate completeness predictors on behalf of unavailable endsystems.
+// Records for subjects currently alive in this node's leafset are skipped:
+// the leafset is fresher than a record whose rejoin push may not have
+// arrived here.
+func (s *Service) UnavailableInRange(lo, hi ids.ID) []*Record {
+	var out []*Record
+	for id, rec := range s.store {
+		if rec.Up || !id.InRange(lo, hi) || id == s.node.ID() {
+			continue
+		}
+		if _, live := s.prevLeaf[id]; live {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}

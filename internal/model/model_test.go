@@ -1,0 +1,187 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's headline analytic claims, asserted as tests.
+
+func TestPaperDefaultsOrdering(t *testing.T) {
+	p := PaperDefaults()
+	sw := MaintenanceOverhead(Seaweed, p)
+	cent := MaintenanceOverhead(Centralized, p)
+	dht := MaintenanceOverhead(DHTReplicated, p)
+	pier := MaintenanceOverhead(PIER, p)
+	pierSlow := MaintenanceOverhead(PIERSlow, p)
+
+	// "Seaweed already outperforms the centralized solution by a factor
+	// of 10" at the Anemone update rate.
+	if ratio := cent / sw; ratio < 5 || ratio > 30 {
+		t.Errorf("centralized/seaweed = %.1f, paper says ≈10", ratio)
+	}
+	// "1000 or more times lower than the other distributed solutions".
+	if dht/sw < 1000 {
+		t.Errorf("dht/seaweed = %.0f, want ≥1000", dht/sw)
+	}
+	if pier/sw < 1000 {
+		t.Errorf("pier/seaweed = %.0f, want ≥1000", pier/sw)
+	}
+	// PIER with 1-hour refresh is 12x cheaper than 5-minute refresh but
+	// still enormous.
+	if math.Abs(pierSlow*12-pier) > pier*1e-9 {
+		t.Errorf("PIER refresh scaling wrong: %v vs %v", pier, pierSlow)
+	}
+	if pierSlow < dht/100 {
+		t.Errorf("PIER (1h) should remain within two orders of DHT at defaults")
+	}
+}
+
+func TestSeaweedFormulaComponents(t *testing.T) {
+	p := PaperDefaults()
+	push := p.FOn * p.N * p.K * p.P * p.H
+	churn := (1 / p.FOn) * p.N * p.C * p.K * (p.H + p.A)
+	if got := MaintenanceOverhead(Seaweed, p); math.Abs(got-(push+churn)) > 1e-6 {
+		t.Fatalf("Seaweed formula mismatch: %v vs %v", got, push+churn)
+	}
+	// At Farsite churn, the periodic push dominates the churn term.
+	if push < churn {
+		t.Errorf("push term (%.0f) should dominate churn term (%.0f) at low churn", push, churn)
+	}
+}
+
+func TestLinearScalingInN(t *testing.T) {
+	p := PaperDefaults()
+	for _, d := range AllDesigns() {
+		at1 := MaintenanceOverhead(d, p)
+		p2 := p
+		p2.N = p.N * 10
+		at10 := MaintenanceOverhead(d, p2)
+		if math.Abs(at10/at1-10) > 1e-9 {
+			t.Errorf("%v: overhead not linear in N (%v)", d, at10/at1)
+		}
+	}
+}
+
+func TestParameterIndependence(t *testing.T) {
+	p := PaperDefaults()
+	// Seaweed and PIER are independent of u.
+	for _, d := range []Design{Seaweed, PIER, PIERSlow} {
+		p2 := p
+		p2.U *= 1000
+		if MaintenanceOverhead(d, p2) != MaintenanceOverhead(d, p) {
+			t.Errorf("%v must be independent of u", d)
+		}
+	}
+	// Centralized and Seaweed are independent of d.
+	for _, d := range []Design{Centralized, Seaweed} {
+		p2 := p
+		p2.D *= 1000
+		if MaintenanceOverhead(d, p2) != MaintenanceOverhead(d, p) {
+			t.Errorf("%v must be independent of d", d)
+		}
+	}
+	// Centralized and PIER are independent of churn.
+	for _, d := range []Design{Centralized, PIER, PIERSlow} {
+		p2 := p
+		p2.C *= 1000
+		if MaintenanceOverhead(d, p2) != MaintenanceOverhead(d, p) {
+			t.Errorf("%v must be independent of c", d)
+		}
+	}
+}
+
+func TestCentralizedBeatsSeaweedAtLowUpdateRates(t *testing.T) {
+	// "When the update rate u is low, the centralized approach will
+	// require lower overhead than Seaweed" (and Figure 4's narrative).
+	p := SmallDataDefaults() // u = 10 B/s
+	if MaintenanceOverhead(Centralized, p) >= MaintenanceOverhead(Seaweed, p) {
+		t.Error("centralized should win at u=10 B/s")
+	}
+	// And the crossover lies at a modest update rate below Anemone's 970.
+	x := Crossover(Centralized, Seaweed, p, 0.1, 1e6, func(q *Params, v float64) { q.U = v })
+	if math.IsNaN(x) || x < 1 || x > 970 {
+		t.Errorf("centralized/seaweed crossover at u=%.1f, want between 1 and 970", x)
+	}
+}
+
+func TestDHTOvertakesPIERAtHighUpdateRates(t *testing.T) {
+	// Figure 3(b): "DHT-replication outperforms PIER by two orders of
+	// magnitude at low update rates but approaches and then exceeds the
+	// overhead of PIER at high update rates."
+	p := PaperDefaults()
+	lowU := p
+	lowU.U = 1
+	if r := MaintenanceOverhead(PIER, lowU) / MaintenanceOverhead(DHTReplicated, lowU); r < 50 {
+		t.Errorf("at low u PIER/DHT = %.0f, want ≥50", r)
+	}
+	x := Crossover(DHTReplicated, PIER, p, 1, 1e9, func(q *Params, v float64) { q.U = v })
+	if math.IsNaN(x) {
+		t.Error("no DHT/PIER crossover found in u sweep")
+	}
+}
+
+func TestPIERAvailabilityTable2(t *testing.T) {
+	// Table 2 of the paper. The churn rates are derived from the
+	// published cells themselves (e^{-ct}): Farsite c≈5.5e-6, Gnutella
+	// c≈9.3e-5.
+	const cFarsite, cGnutella = 5.5e-6, 9.3e-5
+	cases := []struct {
+		c, t, want, tol float64
+	}{
+		{cFarsite, 300, 0.998, 0.002},
+		{cFarsite, 3600, 0.980, 0.005},
+		{cFarsite, 43200, 0.789, 0.02},
+		{cGnutella, 300, 0.973, 0.005},
+		{cGnutella, 3600, 0.716, 0.02},
+		{cGnutella, 43200, 0.018, 0.01},
+	}
+	for _, cse := range cases {
+		got := PIERAvailability(cse.c, cse.t)
+		if math.Abs(got-cse.want) > cse.tol {
+			t.Errorf("availability(c=%g, t=%g) = %.3f, want %.3f±%.3f",
+				cse.c, cse.t, got, cse.want, cse.tol)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	p := PaperDefaults()
+	values := LogSpace(1e3, 1e9, 13)
+	out := Sweep(p, values, func(q *Params, v float64) { q.N = v })
+	if len(out) != len(AllDesigns()) {
+		t.Fatalf("sweep rows = %d", len(out))
+	}
+	for i, row := range out {
+		if len(row) != len(values) {
+			t.Fatalf("row %d has %d points", i, len(row))
+		}
+		for j := 1; j < len(row); j++ {
+			if row[j] <= row[j-1] {
+				t.Fatalf("%v not increasing in N", AllDesigns()[i])
+			}
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(v[i]-want[i])/want[i] > 1e-9 {
+			t.Fatalf("LogSpace = %v", v)
+		}
+	}
+	if got := LogSpace(5, 100, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatal("n=1 should return lo")
+	}
+}
+
+func TestCrossoverNoSignChange(t *testing.T) {
+	p := PaperDefaults()
+	// Seaweed vs PIER never cross in a u sweep (both u-independent).
+	x := Crossover(Seaweed, PIER, p, 1, 1e6, func(q *Params, v float64) { q.U = v })
+	if !math.IsNaN(x) {
+		t.Errorf("expected NaN for non-crossing designs, got %v", x)
+	}
+}

@@ -1,0 +1,587 @@
+package pastry
+
+import (
+	"time"
+
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+)
+
+// tableEntry is one routing table slot.
+type tableEntry struct {
+	NodeRef
+	ok bool
+}
+
+// maxHops bounds routing (including stale-entry retries) to catch protocol
+// bugs; real routes take O(log N) hops.
+const maxHops = 64
+
+// Node is one overlay endsystem. All methods must be called from simulator
+// events (the simulation is single-threaded).
+type Node struct {
+	ring  *Ring
+	ep    simnet.Endpoint
+	id    ids.ID
+	app   Application
+	alive bool
+
+	leaf []NodeRef        // leafset: l/2 nearest per side, sorted by ID
+	rows [][16]tableEntry // routing table rows, allocated as needed
+
+	// OnReady, if set, is called once the node has joined the overlay and
+	// is routable (immediately for bootstrap starts, after the join
+	// protocol completes otherwise).
+	OnReady func()
+
+	joining   bool
+	joinRetry *simnet.Timer
+}
+
+// ID returns the node's endsystemId.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Ring returns the ring the node belongs to.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Endpoint returns the node's network attachment.
+func (n *Node) Endpoint() simnet.Endpoint { return n.ep }
+
+// Ref returns the node's NodeRef.
+func (n *Node) Ref() NodeRef { return NodeRef{ID: n.id, EP: n.ep} }
+
+// Alive reports whether the node is currently up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Leafset returns the node's current leafset members.
+func (n *Node) Leafset() []NodeRef {
+	out := make([]NodeRef, len(n.leaf))
+	copy(out, n.leaf)
+	return out
+}
+
+// ReplicaSet returns the k leafset members numerically closest to the
+// node's own id — the metadata replica set of Seaweed §3.2.
+func (n *Node) ReplicaSet(k int) []NodeRef {
+	out := make([]NodeRef, len(n.leaf))
+	copy(out, n.leaf)
+	sort.Slice(out, func(i, j int) bool {
+		return n.id.AbsDistance(out[i].ID).Less(n.id.AbsDistance(out[j].ID))
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// StartBootstrap brings the node up as part of the initial population,
+// installing overlay state directly with no protocol traffic: this is the
+// simulation's initial condition, not an event within it. The ring's
+// ground-truth index must already contain the full initial population
+// (see Ring.BootstrapAll).
+func (n *Node) StartBootstrap() {
+	n.alive = true
+	n.joining = false
+	n.installState()
+	if n.OnReady != nil {
+		n.OnReady()
+	}
+}
+
+// installState fills the leafset and routing table from the ground truth.
+func (n *Node) installState() {
+	n.setLeafset(n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf))
+	n.rows, _ = n.ring.buildRoutingTable(n.id)
+}
+
+// BootstrapAll starts every node in eps simultaneously as the initial
+// overlay population.
+func (r *Ring) BootstrapAll(eps []simnet.Endpoint) {
+	for _, ep := range eps {
+		n := r.nodes[ep]
+		if n == nil {
+			panic("pastry: BootstrapAll on unknown endpoint")
+		}
+		n.alive = true
+		r.insertLive(n.Ref())
+	}
+	for _, ep := range eps {
+		r.nodes[ep].StartBootstrap()
+	}
+}
+
+// Start brings the node up through the join protocol: a join request is
+// routed to the node's id root through existing nodes, the root returns
+// leafset and routing state, and the joiner announces itself to its new
+// leafset. If the overlay is empty the node becomes its first member
+// immediately. Join requests are retried until a reply arrives — a lost
+// join message must not leave the node stranded outside the overlay.
+func (n *Node) Start() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.joining = true
+	n.leaf = nil
+	n.rows = nil
+	if n.ring.NumLive() == 0 {
+		n.ring.insertLive(n.Ref())
+		n.joining = false
+		if n.OnReady != nil {
+			n.OnReady()
+		}
+		return
+	}
+	n.sendJoinRequest()
+}
+
+// sendJoinRequest issues one join attempt and arms the retry timer.
+func (n *Node) sendJoinRequest() {
+	if !n.alive || !n.joining {
+		return
+	}
+	if n.ring.NumLive() == 0 {
+		n.ring.insertLive(n.Ref())
+		n.joining = false
+		if n.OnReady != nil {
+			n.OnReady()
+		}
+		return
+	}
+	contact := n.ring.live[n.ring.rng.Intn(len(n.ring.live))]
+	req := &joinRequest{Joiner: n.Ref()}
+	n.ring.net.Send(n.ep, contact.EP, refBytes+16, simnet.ClassPastry, req)
+	timeout := 10 * n.ring.cfg.RetryTimeout
+	n.joinRetry = n.ring.sched.After(timeout, n.sendJoinRequest)
+}
+
+// Stop takes the node down silently (a crash or power-off). Failure
+// detection at its neighbors is modeled by scheduling notifications one to
+// two heartbeat periods later.
+func (n *Node) Stop() {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	ref := n.Ref()
+	n.ring.removeLive(ref)
+	n.joining = false
+	if n.joinRetry != nil {
+		n.joinRetry.Cancel()
+		n.joinRetry = nil
+	}
+	// The nodes holding this node in their leafsets — its lh successors
+	// and lh predecessors — learn of the death after the detection delay.
+	neighbors := n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf)
+	for _, nb := range neighbors {
+		nb := nb
+		delay := n.ring.cfg.HeartbeatPeriod +
+			time.Duration(n.ring.rng.Float64()*float64(n.ring.cfg.HeartbeatPeriod))
+		n.ring.sched.After(delay, func() {
+			if m := n.ring.nodes[nb.EP]; m != nil && m.alive && m.id == nb.ID {
+				m.noteDead(ref)
+			}
+		})
+	}
+}
+
+// Route sends an application message toward the root of key, charging the
+// given payload wire size plus per-hop envelope overhead under the given
+// traffic class. If the local node is the key's root the message is
+// delivered locally (after no network hop).
+func (n *Node) Route(key ids.ID, payload any, size int, class simnet.Class) {
+	if !n.alive {
+		return
+	}
+	env := &routeEnvelope{Key: key, Payload: payload, Size: size, Class: class}
+	n.forward(env, n.ep)
+}
+
+// forward advances an envelope one hop. origin is the endpoint of the
+// message's original sender, passed through to Deliver.
+func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
+	if env.Hops >= maxHops {
+		return // routing failure; application-level retransmission recovers
+	}
+	next, selfIsRoot := n.nextHop(env.Key)
+	if selfIsRoot {
+		n.app.Deliver(env.Key, origin, env.Payload)
+		return
+	}
+	env.Hops++
+	size := env.Size + envelopeOverhead
+	if !n.ring.isLive(next) {
+		// Stale entry: the transmission is wasted, and after a timeout the
+		// node removes the entry and reroutes — modeling MSPastry's
+		// per-hop ack timeout.
+		n.ring.net.AccountAggregate(n.ep, env.Class, size, 0)
+		n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
+			if !n.alive {
+				return
+			}
+			n.dropRef(next)
+			n.forward(env, origin)
+		})
+		return
+	}
+	wrapped := &hopMsg{Env: env, Origin: origin, Sender: n.Ref()}
+	n.ring.net.Send(n.ep, next.EP, size, env.Class, wrapped)
+}
+
+// hopMsg is the per-hop wrapper carrying an envelope between nodes.
+type hopMsg struct {
+	Env    *routeEnvelope
+	Origin simnet.Endpoint
+	Sender NodeRef
+}
+
+// nextHop picks the next hop for key using the classic Pastry rule, whose
+// mixed-step ordering is loop-free: (1) if the key falls within the
+// leafset's namespace span, the numerically closest of leafset ∪ self is
+// the destination; (2) otherwise take the routing-table entry matching the
+// key's next digit (common prefix length strictly increases); (3) in the
+// rare case that entry is missing, forward to any known node sharing a
+// prefix at least as long as ours that is strictly numerically closer
+// (prefix length never decreases, distance strictly decreases); (4) with
+// no such candidate, deliver to the numerically closest of leafset ∪ self.
+// selfIsRoot is true when this node is the destination.
+func (n *Node) nextHop(key ids.ID) (next NodeRef, selfIsRoot bool) {
+	b := n.ring.cfg.B
+
+	closestOfLeafset := func() (NodeRef, bool) {
+		best := NodeRef{ID: n.id, EP: n.ep}
+		bestD := n.id.AbsDistance(key)
+		for _, m := range n.leaf {
+			d := m.ID.AbsDistance(key)
+			if d.Less(bestD) {
+				best, bestD = m, d
+			}
+		}
+		if best.ID == n.id {
+			return NodeRef{}, true
+		}
+		return best, false
+	}
+
+	if n.inLeafsetSpan(key) {
+		return closestOfLeafset()
+	}
+
+	plen := ids.CommonPrefixLen(key, n.id, b)
+	if plen < len(n.rows) {
+		e := n.rows[plen][key.Digit(plen, b)]
+		if e.ok {
+			return e.NodeRef, false
+		}
+	}
+
+	// Rare case: any known node with prefix >= plen and strictly smaller
+	// numeric distance.
+	selfD := n.id.AbsDistance(key)
+	best := NodeRef{ID: n.id, EP: n.ep}
+	bestD := selfD
+	consider := func(ref NodeRef) {
+		if ids.CommonPrefixLen(key, ref.ID, b) < plen {
+			return
+		}
+		d := ref.ID.AbsDistance(key)
+		if d.Less(bestD) {
+			best, bestD = ref, d
+		}
+	}
+	for _, m := range n.leaf {
+		consider(m)
+	}
+	for i := range n.rows {
+		for d := 0; d < 16; d++ {
+			if n.rows[i][d].ok {
+				consider(n.rows[i][d].NodeRef)
+			}
+		}
+	}
+	if best.ID != n.id {
+		return best, false
+	}
+	return closestOfLeafset()
+}
+
+// inLeafsetSpan reports whether key lies on the namespace arc covered by
+// the leafset (from the farthest predecessor, through self, to the
+// farthest successor). With a leafset smaller than l (tiny overlays) the
+// span is taken to cover the whole ring, because the leafset then contains
+// every known node and the closest-member rule is exact.
+func (n *Node) inLeafsetSpan(key ids.ID) bool {
+	if len(n.leaf) < 2*n.ring.cfg.LeafsetHalf {
+		return true
+	}
+	// Find the farthest successor (max clockwise distance from self) and
+	// farthest predecessor (max counterclockwise distance); the leafset
+	// span is the arc from that predecessor through self to that
+	// successor. Defaults of self handle a one-sided leafset.
+	lo, hi := n.id, n.id
+	var dSucc, dPred ids.ID
+	for _, m := range n.leaf {
+		cw := n.id.Distance(m.ID) // small = successor side
+		ccw := m.ID.Distance(n.id)
+		if cw.Less(ccw) {
+			if dSucc.Less(cw) {
+				hi, dSucc = m.ID, cw
+			}
+		} else if dPred.Less(ccw) {
+			lo, dPred = m.ID, ccw
+		}
+	}
+	return lo.Distance(key).Cmp(lo.Distance(hi)) <= 0
+}
+
+// IsRootOf reports whether this node believes it is the key's root: no
+// node it knows of is numerically closer to the key.
+func (n *Node) IsRootOf(key ids.ID) bool {
+	_, selfIsRoot := n.nextHop(key)
+	return selfIsRoot
+}
+
+// HandleMessage implements simnet.Handler.
+func (n *Node) HandleMessage(from simnet.Endpoint, payload any) {
+	if !n.alive {
+		return // powered off: in-flight traffic is lost
+	}
+	switch m := payload.(type) {
+	case *hopMsg:
+		n.learn(m.Sender)
+		n.forward(m.Env, m.Origin)
+	case *joinRequest:
+		n.handleJoinRequest(m)
+	case *joinReply:
+		n.handleJoinReply(m)
+	case *nodeAnnounce:
+		n.handleAnnounce(m.Node)
+	case *leafsetPull:
+		n.handleLeafsetPull(m)
+	case *leafsetPush:
+		// Repair data arrives; the refill itself was applied from ground
+		// truth when the repair started (see noteDead), so this only
+		// accounts the traffic.
+	default:
+		// Application-level direct (single-hop) message: deliver with the
+		// node's own id as the key. Seaweed's metadata replication and
+		// aggregation-tree traffic travel this way.
+		if n.app != nil {
+			n.app.Deliver(n.id, from, payload)
+		}
+	}
+}
+
+// learn opportunistically caches a node in the routing table.
+func (n *Node) learn(ref NodeRef) {
+	if ref.ID == n.id {
+		return
+	}
+	b := n.ring.cfg.B
+	plen := ids.CommonPrefixLen(ref.ID, n.id, b)
+	if plen >= ids.DigitsPerID(b) {
+		return
+	}
+	for len(n.rows) <= plen {
+		if len(n.rows) >= 8 { // deeper rows are covered by the leafset
+			return
+		}
+		n.rows = append(n.rows, [16]tableEntry{})
+	}
+	slot := &n.rows[plen][ref.ID.Digit(plen, b)]
+	if !slot.ok {
+		*slot = tableEntry{NodeRef: ref, ok: true}
+	}
+}
+
+// dropRef removes a dead node from the routing table and leafset (with
+// leafset repair if needed).
+func (n *Node) dropRef(ref NodeRef) {
+	b := n.ring.cfg.B
+	plen := ids.CommonPrefixLen(ref.ID, n.id, b)
+	if plen < len(n.rows) {
+		slot := &n.rows[plen][ref.ID.Digit(plen, b)]
+		if slot.ok && slot.ID == ref.ID {
+			*slot = tableEntry{}
+		}
+	}
+	n.removeFromLeafset(ref)
+}
+
+// noteDead is the failure-detection upcall: a leafset heartbeat has timed
+// out for ref.
+func (n *Node) noteDead(ref NodeRef) {
+	n.dropRef(ref)
+}
+
+// removeFromLeafset removes ref from the leafset and repairs the leafset
+// if it was a member.
+func (n *Node) removeFromLeafset(ref NodeRef) {
+	idx := -1
+	for i, m := range n.leaf {
+		if m.ID == ref.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	n.leaf = append(n.leaf[:idx], n.leaf[idx+1:]...)
+	n.repairLeafset()
+	if n.app != nil {
+		n.app.LeafsetChanged()
+	}
+}
+
+// repairLeafset refills the leafset after a member loss. The refill
+// content comes from the ground truth (modeling the leafset exchange
+// piggybacked on heartbeats); the pull/push traffic to the two extreme
+// remaining members is simulated for its bandwidth and is answered by
+// handleLeafsetPull.
+func (n *Node) repairLeafset() {
+	self := n.Ref()
+	for i := 0; i < 2 && i < len(n.leaf); i++ {
+		target := n.leaf[len(n.leaf)-1-i]
+		if n.ring.isLive(target) {
+			n.ring.net.Send(n.ep, target.EP, refBytes+8, simnet.ClassPastry,
+				&leafsetPull{From: self})
+		}
+	}
+	n.setLeafset(n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf))
+}
+
+// handleLeafsetPull answers a repair pull with this node's leafset.
+func (n *Node) handleLeafsetPull(m *leafsetPull) {
+	size := 8 + len(n.leaf)*refBytes
+	n.ring.net.Send(n.ep, m.From.EP, size, simnet.ClassPastry,
+		&leafsetPush{Leafset: n.Leafset()})
+}
+
+// setLeafset installs the l/2 nearest candidates on each side of the node.
+func (n *Node) setLeafset(cands []NodeRef) {
+	seen := make(map[ids.ID]NodeRef, len(cands))
+	for _, c := range cands {
+		if c.ID != n.id {
+			seen[c.ID] = c
+		}
+	}
+	all := make([]NodeRef, 0, len(seen))
+	for _, c := range seen {
+		all = append(all, c)
+	}
+	// Sort by clockwise distance from self: successors first,
+	// predecessors (large clockwise distance) last.
+	sort.Slice(all, func(i, j int) bool {
+		return n.id.Distance(all[i].ID).Less(n.id.Distance(all[j].ID))
+	})
+	lh := n.ring.cfg.LeafsetHalf
+	var leaf []NodeRef
+	if len(all) <= 2*lh {
+		leaf = all
+	} else {
+		leaf = append(leaf, all[:lh]...)          // l/2 successors
+		leaf = append(leaf, all[len(all)-lh:]...) // l/2 predecessors
+	}
+	sort.Slice(leaf, func(i, j int) bool { return leaf[i].ID.Less(leaf[j].ID) })
+	n.leaf = leaf
+}
+
+// handleJoinRequest routes a join toward the joiner's id; at the root it
+// answers with leafset and routing state.
+func (n *Node) handleJoinRequest(req *joinRequest) {
+	req.Hops++
+	if req.Hops >= maxHops {
+		return
+	}
+	next, selfIsRoot := n.nextHop(req.Joiner.ID)
+	if !selfIsRoot {
+		if !n.ring.isLive(next) {
+			size := refBytes + 16
+			n.ring.net.AccountAggregate(n.ep, simnet.ClassPastry, size, 0)
+			n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
+				if n.alive {
+					n.dropRef(next)
+					n.handleJoinRequest(req)
+				}
+			})
+			return
+		}
+		n.ring.net.Send(n.ep, next.EP, refBytes+16, simnet.ClassPastry, req)
+		return
+	}
+	// Root: assemble the joiner's state. The rows come from the ground
+	// truth, modeling the state gathered along the join path.
+	joiner := req.Joiner
+	rows, entries := n.ring.buildRoutingTable(joiner.ID)
+	leafset := n.ring.liveLeafNeighbors(joiner.ID, n.ring.cfg.LeafsetHalf)
+	reply := &joinReply{Leafset: leafset, Rows: flattenRows(rows)}
+	size := 16 + (len(leafset)+entries)*refBytes
+	n.ring.net.Send(n.ep, joiner.EP, size, simnet.ClassPastry, reply)
+}
+
+func flattenRows(rows [][16]tableEntry) []NodeRef {
+	var out []NodeRef
+	for i := range rows {
+		for d := 0; d < 16; d++ {
+			if rows[i][d].ok {
+				out = append(out, rows[i][d].NodeRef)
+			}
+		}
+	}
+	return out
+}
+
+// handleJoinReply installs the joiner's overlay state and announces the
+// new node to its leafset.
+func (n *Node) handleJoinReply(reply *joinReply) {
+	if !n.joining {
+		return // duplicate or stale reply
+	}
+	n.joining = false
+	if n.joinRetry != nil {
+		n.joinRetry.Cancel()
+		n.joinRetry = nil
+	}
+	n.setLeafset(reply.Leafset)
+	n.rows = nil
+	for _, ref := range reply.Rows {
+		n.learn(ref)
+	}
+	n.ring.insertLive(n.Ref())
+	ann := &nodeAnnounce{Node: n.Ref()}
+	for _, m := range n.leaf {
+		if n.ring.isLive(m) {
+			n.ring.net.Send(n.ep, m.EP, refBytes+8, simnet.ClassPastry, ann)
+		}
+	}
+	if n.app != nil {
+		n.app.LeafsetChanged()
+	}
+	if n.OnReady != nil {
+		n.OnReady()
+	}
+}
+
+// handleAnnounce folds a newly joined node into local state.
+func (n *Node) handleAnnounce(ref NodeRef) {
+	n.learn(ref)
+	// Leafset candidate: recompute with the newcomer included.
+	cands := append(n.Leafset(), ref)
+	before := len(n.leaf)
+	n.setLeafset(cands)
+	changed := len(n.leaf) != before
+	if !changed {
+		for _, m := range n.leaf {
+			if m.ID == ref.ID {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed && n.app != nil {
+		n.app.LeafsetChanged()
+	}
+}

@@ -1,0 +1,137 @@
+// Package pastry implements the structured overlay beneath Seaweed,
+// following MSPastry (Castro, Costa, Rowstron — DSN 2004): 128-bit
+// endsystemIds in a circular namespace, prefix-based routing tables with
+// base-2^b digits, leafsets of the l/2 nearest endsystems on each side,
+// and a key-based routing (KBR) API that delivers each message to the live
+// endsystem whose id is numerically closest to the key.
+//
+// The package runs on the simnet discrete-event simulator. Protocol
+// messages — routing hops, joins, leafset repairs, and everything the
+// application sends — are individually simulated with topology latency and
+// per-endsystem bandwidth accounting. Two background costs are accounted
+// in aggregate rather than as individual events, because simulating a 30 s
+// heartbeat per leafset edge for tens of thousands of endsystems over four
+// weeks of virtual time is computationally out of reach (the paper itself
+// remarks that "the difficulties of running a discrete event simulator at
+// this scale should not be underestimated"): leafset heartbeats and
+// routing-table probe traffic are charged to the bandwidth statistics at
+// their steady-state rates, and the failure-detection delay they would
+// provide is modeled explicitly — a neighbor learns of a death only after
+// a randomized delay of one to two heartbeat periods, and stale routing
+// table entries cost a retry timeout when used.
+package pastry
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes the overlay. The defaults mirror the paper's
+// MSPastry configuration: b=4, leafset size l=8, 30-second leafset
+// heartbeat period.
+type Config struct {
+	// B is the digit width; keys are interpreted base 2^B.
+	B int
+	// LeafsetHalf is l/2: the number of leafset entries maintained on
+	// each side of the node.
+	LeafsetHalf int
+	// HeartbeatPeriod is the leafset heartbeat interval, which bounds
+	// failure-detection latency.
+	HeartbeatPeriod time.Duration
+	// HeartbeatBytes is the wire size of one leafset heartbeat message.
+	HeartbeatBytes int
+	// ProbeBytesPerSec is the steady-state routing-table maintenance
+	// traffic per node in bytes/second (grows O(log N) with network size;
+	// set by the ring from the initial population).
+	ProbeBytesPerSec float64
+	// RetryTimeout is how long a node waits before concluding a forward
+	// to a stale routing entry failed and rerouting.
+	RetryTimeout time.Duration
+	// AccountingPeriod is how often aggregate heartbeat/probe costs are
+	// folded into the bandwidth statistics.
+	AccountingPeriod time.Duration
+	// Seed drives protocol randomness (detection jitter, probe targets).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's overlay configuration.
+func DefaultConfig() Config {
+	return Config{
+		B:                4,
+		LeafsetHalf:      4,
+		HeartbeatPeriod:  30 * time.Second,
+		HeartbeatBytes:   32,
+		RetryTimeout:     time.Second,
+		AccountingPeriod: 10 * time.Minute,
+	}
+}
+
+// NodeRef identifies an overlay node: its endsystemId and its network
+// attachment point.
+type NodeRef struct {
+	ID ids.ID
+	EP simnet.Endpoint
+}
+
+// Application receives upcalls from a node, in the style of the common KBR
+// API the paper cites. Implementations are the Seaweed layers.
+type Application interface {
+	// Deliver is called on the key's root when a routed message arrives.
+	Deliver(key ids.ID, from simnet.Endpoint, payload any)
+	// LeafsetChanged is called after the node's leafset membership
+	// changes (a neighbor died or a new node joined nearby). Seaweed uses
+	// it to maintain metadata replica sets.
+	LeafsetChanged()
+}
+
+// refBytes is the wire size of one NodeRef in protocol messages.
+const refBytes = ids.Bytes + 4
+
+// Message payload types exchanged between nodes. Sizes are computed from
+// their contents; the structs themselves travel by pointer inside the
+// simulator.
+
+// routeEnvelope carries an application message toward a key.
+type routeEnvelope struct {
+	Key     ids.ID
+	Payload any
+	Size    int // application payload wire size
+	Class   simnet.Class
+	Hops    int
+}
+
+// envelopeOverhead is the wire overhead of one routing hop: key, flags,
+// and the per-hop acknowledgment MSPastry uses for reliable delivery.
+const envelopeOverhead = ids.Bytes + 8 + 16
+
+// joinRequest is routed toward the joiner's id; nodes along the path
+// append routing rows, and the root replies with its leafset.
+type joinRequest struct {
+	Joiner NodeRef
+	Rows   []NodeRef // routing entries gathered along the path
+	Hops   int
+}
+
+// joinReply completes a join: the root's leafset seeds the joiner's.
+type joinReply struct {
+	Leafset []NodeRef
+	Rows    []NodeRef
+}
+
+// nodeAnnounce tells existing nodes about a newly joined node so they can
+// update leafsets and routing tables.
+type nodeAnnounce struct {
+	Node NodeRef
+}
+
+// leafsetPull asks a node for its current leafset (used during repair).
+type leafsetPull struct {
+	From NodeRef
+}
+
+// leafsetPush answers a leafsetPull.
+type leafsetPush struct {
+	Leafset []NodeRef
+}

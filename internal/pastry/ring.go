@@ -1,0 +1,283 @@
+package pastry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/simnet"
+)
+
+// Ring coordinates the overlay nodes of one simulation. It owns the
+// ground-truth live-membership index used for three things the simulator
+// abstracts: scheduling failure-detection notifications when a node dies
+// (modeling heartbeat loss), refilling leafsets during repair (modeling
+// the leafset exchange piggybacked on heartbeats), and seeding routing
+// tables (modeling the join-time state transfer). Every abstraction
+// charges its bandwidth to the statistics; see the package comment.
+type Ring struct {
+	cfg   Config
+	net   *simnet.Network
+	sched *simnet.Scheduler
+	rng   *rand.Rand
+
+	nodes []*Node   // by endpoint; nil until AddNode
+	live  []NodeRef // ground truth, sorted by ID
+}
+
+// NewRing creates an empty ring over the network.
+func NewRing(net *simnet.Network, cfg Config) *Ring {
+	r := &Ring{
+		cfg:   cfg,
+		net:   net,
+		sched: net.Scheduler(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make([]*Node, net.NumEndpoints()),
+	}
+	r.startAccounting()
+	return r
+}
+
+// Config returns the ring's configuration.
+func (r *Ring) Config() Config { return r.cfg }
+
+// Scheduler returns the scheduler driving the ring.
+func (r *Ring) Scheduler() *simnet.Scheduler { return r.sched }
+
+// Network returns the underlying simulated network.
+func (r *Ring) Network() *simnet.Network { return r.net }
+
+// AddNode registers a (initially offline) node with the given endsystemId
+// at the given endpoint. The application receives upcalls once the node
+// starts.
+func (r *Ring) AddNode(ep simnet.Endpoint, id ids.ID, app Application) *Node {
+	if r.nodes[ep] != nil {
+		panic(fmt.Sprintf("pastry: endpoint %d already has a node", ep))
+	}
+	n := &Node{ring: r, ep: ep, id: id, app: app}
+	r.nodes[ep] = n
+	r.net.Bind(ep, n)
+	return n
+}
+
+// Node returns the node at an endpoint, or nil.
+func (r *Ring) Node(ep simnet.Endpoint) *Node { return r.nodes[ep] }
+
+// NumLive returns the current number of live nodes.
+func (r *Ring) NumLive() int { return len(r.live) }
+
+// LiveRefs returns a copy of the live node set, sorted by ID.
+func (r *Ring) LiveRefs() []NodeRef {
+	out := make([]NodeRef, len(r.live))
+	copy(out, r.live)
+	return out
+}
+
+// liveIndex returns the insertion position of id in the live index.
+func (r *Ring) liveIndex(id ids.ID) int {
+	return sort.Search(len(r.live), func(i int) bool { return !r.live[i].ID.Less(id) })
+}
+
+// insertLive adds a node to the ground-truth live index.
+func (r *Ring) insertLive(ref NodeRef) {
+	i := r.liveIndex(ref.ID)
+	r.live = append(r.live, NodeRef{})
+	copy(r.live[i+1:], r.live[i:])
+	r.live[i] = ref
+}
+
+// removeLive drops a node from the ground-truth live index.
+func (r *Ring) removeLive(ref NodeRef) {
+	i := r.liveIndex(ref.ID)
+	if i < len(r.live) && r.live[i].ID == ref.ID {
+		r.live = append(r.live[:i], r.live[i+1:]...)
+	}
+}
+
+// isLive reports whether the node with this exact ref is currently up.
+func (r *Ring) isLive(ref NodeRef) bool {
+	n := r.nodes[ref.EP]
+	return n != nil && n.alive && n.id == ref.ID
+}
+
+// LiveClosest returns the k live nodes numerically closest to key
+// (excluding, if skip is non-nil, the node *skip). This is the ground
+// truth replica-set / leafset oracle.
+func (r *Ring) LiveClosest(key ids.ID, k int, skip *NodeRef) []NodeRef {
+	if len(r.live) == 0 || k <= 0 {
+		return nil
+	}
+	// Walk outward from the insertion point with two cursors, picking the
+	// numerically closer side each step.
+	n := len(r.live)
+	hi := r.liveIndex(key) % n
+	lo := (hi - 1 + n) % n
+	out := make([]NodeRef, 0, k)
+	taken := 0
+	for taken < n && len(out) < k {
+		dLo := key.AbsDistance(r.live[lo].ID)
+		dHi := key.AbsDistance(r.live[hi].ID)
+		var pick NodeRef
+		if lo == hi {
+			pick = r.live[lo]
+			lo = (lo - 1 + n) % n
+			hi = (hi + 1) % n
+		} else if dLo.Less(dHi) || (dLo == dHi && r.live[lo].ID.Less(r.live[hi].ID)) {
+			pick = r.live[lo]
+			lo = (lo - 1 + n) % n
+		} else {
+			pick = r.live[hi]
+			hi = (hi + 1) % n
+		}
+		taken++
+		if skip != nil && pick.ID == skip.ID {
+			continue
+		}
+		out = append(out, pick)
+	}
+	return out
+}
+
+// liveLeafNeighbors returns the proper leafset membership around id: its
+// lh nearest live successors and lh nearest live predecessors in ring
+// order, excluding id itself. This set is both what a node's own leafset
+// should contain and — by the symmetry of successor/predecessor rank —
+// exactly the nodes whose leafsets contain id.
+func (r *Ring) liveLeafNeighbors(id ids.ID, lh int) []NodeRef {
+	n := len(r.live)
+	if n == 0 {
+		return nil
+	}
+	k := 2 * lh
+	if k > n {
+		k = n
+	}
+	out := make([]NodeRef, 0, k)
+	seen := make(map[ids.ID]bool, k+1)
+	seen[id] = true
+	at := r.liveIndex(id) % n
+	for s, i := 0, at; s < lh && i < at+n; i++ { // successors
+		ref := r.live[i%n]
+		if !seen[ref.ID] {
+			seen[ref.ID] = true
+			out = append(out, ref)
+			s++
+		}
+	}
+	for s, i := 0, at-1; s < lh && i > at-1-n; i-- { // predecessors
+		ref := r.live[((i%n)+n)%n]
+		if !seen[ref.ID] {
+			seen[ref.ID] = true
+			out = append(out, ref)
+			s++
+		}
+	}
+	return out
+}
+
+// Root returns the live node numerically closest to key, the ground-truth
+// root of the key. ok is false when no node is live.
+func (r *Ring) Root(key ids.ID) (NodeRef, bool) {
+	c := r.LiveClosest(key, 1, nil)
+	if len(c) == 0 {
+		return NodeRef{}, false
+	}
+	return c[0], true
+}
+
+// prefixRange returns the half-open [lo, hi) index range of live nodes
+// whose IDs share the first plen digits of id.
+func (r *Ring) prefixRange(id ids.ID, plen int) (int, int) {
+	b := r.cfg.B
+	loKey := id.PrefixMask(plen, b)
+	// hiKey is the first ID past the prefix block.
+	span := ids.MaxID.Rsh(uint(plen * b))
+	hiKey := loKey.Add(span).AddUint64(1)
+	lo := r.liveIndex(loKey)
+	var hi int
+	if hiKey.IsZero() { // wrapped: block extends to the top of the namespace
+		hi = len(r.live)
+	} else {
+		hi = r.liveIndex(hiKey)
+	}
+	return lo, hi
+}
+
+// buildRoutingTable constructs a routing table for id from the ground
+// truth, as the join-time state transfer would. It returns the table rows
+// and the number of entries (for bandwidth charging).
+func (r *Ring) buildRoutingTable(id ids.ID) (rows [][1 << 4]tableEntry, entries int) {
+	b := r.cfg.B
+	width := 1 << b
+	if width != 16 {
+		panic("pastry: routing tables currently assume b=4")
+	}
+	maxRows := ids.DigitsPerID(b)
+	for plen := 0; plen < maxRows; plen++ {
+		lo, hi := r.prefixRange(id, plen)
+		if hi-lo <= 2*r.cfg.LeafsetHalf {
+			break // the leafset covers the rest
+		}
+		var row [16]tableEntry
+		filled := false
+		for d := 0; d < width; d++ {
+			if d == id.Digit(plen, b) {
+				continue // own digit: next row handles it
+			}
+			key := id.PrefixMask(plen, b).WithDigit(plen, b, d)
+			dlo, dhi := r.prefixRange(key, plen+1)
+			if dhi <= dlo {
+				continue
+			}
+			pick := r.live[dlo+r.rng.Intn(dhi-dlo)]
+			row[d] = tableEntry{NodeRef: pick, ok: true}
+			entries++
+			filled = true
+		}
+		rows = append(rows, row)
+		if !filled {
+			break
+		}
+	}
+	return rows, entries
+}
+
+// expectedProbeRate returns the steady-state routing-table maintenance
+// traffic in bytes/second for the current network size: one probe per
+// populated table row per probe period, as MSPastry's self-tuning
+// maintenance does.
+func (r *Ring) expectedProbeRate() float64 {
+	n := len(r.live)
+	if n < 2 {
+		return 0
+	}
+	if r.cfg.ProbeBytesPerSec > 0 {
+		return r.cfg.ProbeBytesPerSec
+	}
+	rowsInUse := math.Log(float64(n))/math.Log(16) + 1
+	const probePeriod = 60.0 // seconds
+	const probeBytes = 48.0
+	return rowsInUse * 16 * probeBytes / probePeriod / 4 // quarter of entries probed per period
+}
+
+// startAccounting schedules the aggregate charging of heartbeat and probe
+// traffic described in the package comment.
+func (r *Ring) startAccounting() {
+	period := r.cfg.AccountingPeriod
+	if period <= 0 {
+		period = 10 * time.Minute
+	}
+	r.sched.Every(period, func() {
+		secs := period.Seconds()
+		hbPerSec := float64(2*r.cfg.LeafsetHalf) * float64(r.cfg.HeartbeatBytes) /
+			r.cfg.HeartbeatPeriod.Seconds()
+		probe := r.expectedProbeRate()
+		perNode := int((hbPerSec + probe) * secs)
+		for _, ref := range r.live {
+			r.net.AccountAggregate(ref.EP, simnet.ClassPastry, perNode, perNode)
+		}
+	})
+}

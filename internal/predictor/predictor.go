@@ -1,0 +1,209 @@
+// Package predictor implements Seaweed's completeness predictors: cumulative
+// distributions of expected row count against predicted time of
+// availability. A predictor answers "how many of the rows relevant to this
+// query will have been processed by time t?" — the paper's example: 80% of
+// rows immediately, 99% within an hour, 100% only after several days.
+//
+// Time is bucketed on a log scale (half-power-of-two boundaries from one
+// second to about three days) "to accommodate wide variations in
+// availability ranging from seconds to days". Because the bucket layout is
+// fixed, predictors are constant-size and merge by pointwise addition; the
+// query distribution tree aggregates them at each step without growth, as
+// §3.3 requires.
+package predictor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/avail"
+)
+
+// NumBuckets is the number of delay buckets. Bucket i covers delays in
+// (Boundary(i-1), Boundary(i)]; bucket 0 covers (0, 1s].
+const NumBuckets = 72
+
+// Boundary returns the upper delay boundary of bucket i: 2^(i/4) seconds,
+// i.e. boundaries advance by a factor of 2^(1/4) from one second to about
+// three days. The log scale is the paper's ("time is on a log scale to
+// accommodate wide variations in availability ranging from seconds to
+// days"); the quarter-power spacing keeps interpolation error small in the
+// steep morning ramp while the predictor stays constant-size.
+func Boundary(i int) time.Duration {
+	return time.Duration(float64(time.Second) * math.Pow(2, float64(i)/4))
+}
+
+// Predictor is a completeness predictor. Immediate holds rows on currently
+// available endsystems; Buckets[i] holds expected rows becoming available
+// within bucket i's delay window; Later holds expected rows beyond the last
+// boundary. The zero Predictor is empty and is the identity of Merge.
+type Predictor struct {
+	Immediate float64
+	Buckets   [NumBuckets]float64
+	Later     float64
+}
+
+// AddImmediate adds rows that are available now (the endsystem is online).
+func (p *Predictor) AddImmediate(rows float64) { p.Immediate += rows }
+
+// AddAtDelay adds rows expected to become available at exactly the given
+// delay from now (used when the availability time is known rather than
+// probabilistic).
+func (p *Predictor) AddAtDelay(delay time.Duration, rows float64) {
+	if delay <= 0 {
+		p.Immediate += rows
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if delay <= Boundary(i) {
+			p.Buckets[i] += rows
+			return
+		}
+	}
+	p.Later += rows
+}
+
+// AddModel distributes an unavailable endsystem's estimated rows across the
+// delay buckets according to its availability model: the mass in bucket i
+// is rows × (P(up by boundary i) − P(up by boundary i−1)). Mass the model
+// does not expect within the last boundary lands in Later.
+func (p *Predictor) AddModel(m *avail.Model, now, downSince time.Duration, rows float64) {
+	p.AddModelMode(avail.ModeAuto, m, now, downSince, rows)
+}
+
+// AddModelMode is AddModel under a forced availability-prediction mode
+// (for the classifier ablation).
+func (p *Predictor) AddModelMode(mode avail.PredictionMode, m *avail.Model, now, downSince time.Duration, rows float64) {
+	if rows <= 0 {
+		return
+	}
+	prev := 0.0
+	for i := 0; i < NumBuckets; i++ {
+		cum := m.ProbUpByMode(mode, now, downSince, now+Boundary(i))
+		if cum > 1 {
+			cum = 1
+		}
+		if cum > prev {
+			p.Buckets[i] += rows * (cum - prev)
+			prev = cum
+		}
+	}
+	if prev < 1 {
+		p.Later += rows * (1 - prev)
+	}
+}
+
+// Merge adds another predictor into this one. Merging is commutative and
+// associative; aggregation trees rely on this.
+func (p *Predictor) Merge(q *Predictor) {
+	p.Immediate += q.Immediate
+	for i := range p.Buckets {
+		p.Buckets[i] += q.Buckets[i]
+	}
+	p.Later += q.Later
+}
+
+// ExpectedTotal returns the predictor's total expected row count.
+func (p *Predictor) ExpectedTotal() float64 {
+	t := p.Immediate + p.Later
+	for _, v := range p.Buckets {
+		t += v
+	}
+	return t
+}
+
+// RowsBy returns the expected cumulative rows processed by the given delay
+// after query injection.
+func (p *Predictor) RowsBy(delay time.Duration) float64 {
+	rows := p.Immediate
+	for i := 0; i < NumBuckets; i++ {
+		b := Boundary(i)
+		if b <= delay {
+			rows += p.Buckets[i]
+			continue
+		}
+		// Interpolate within the bucket on log time.
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = Boundary(i - 1)
+		}
+		if delay > lo {
+			frac := float64(delay-lo) / float64(b-lo)
+			rows += p.Buckets[i] * frac
+		}
+		break
+	}
+	return rows
+}
+
+// CompletenessBy returns the expected completeness (0..1) at the given
+// delay: RowsBy(delay) / ExpectedTotal. An empty predictor reports 1.
+func (p *Predictor) CompletenessBy(delay time.Duration) float64 {
+	total := p.ExpectedTotal()
+	if total <= 0 {
+		return 1
+	}
+	return p.RowsBy(delay) / total
+}
+
+// DelayFor returns the smallest bucket boundary at which expected
+// completeness reaches frac, and false when frac is never reached within
+// the predictor's horizon (the remaining mass is in Later).
+func (p *Predictor) DelayFor(frac float64) (time.Duration, bool) {
+	total := p.ExpectedTotal()
+	if total <= 0 {
+		return 0, true
+	}
+	need := frac * total
+	rows := p.Immediate
+	if rows >= need {
+		return 0, true
+	}
+	for i := 0; i < NumBuckets; i++ {
+		rows += p.Buckets[i]
+		if rows >= need {
+			return Boundary(i), true
+		}
+	}
+	return 0, false
+}
+
+// EncodedSize is the fixed wire size of a predictor.
+const EncodedSize = 8 * (NumBuckets + 2)
+
+// Encode appends the predictor's fixed-size wire form to dst.
+func (p *Predictor) Encode(dst []byte) []byte {
+	var buf [8]byte
+	put := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		dst = append(dst, buf[:]...)
+	}
+	put(p.Immediate)
+	for _, v := range p.Buckets {
+		put(v)
+	}
+	put(p.Later)
+	return dst
+}
+
+// Decode parses a predictor from the front of b, returning the remaining
+// bytes.
+func Decode(b []byte) (*Predictor, []byte, error) {
+	if len(b) < EncodedSize {
+		return nil, nil, fmt.Errorf("predictor: need %d bytes, have %d", EncodedSize, len(b))
+	}
+	p := &Predictor{}
+	get := func() float64 {
+		v := math.Float64frombits(binary.BigEndian.Uint64(b))
+		b = b[8:]
+		return v
+	}
+	p.Immediate = get()
+	for i := range p.Buckets {
+		p.Buckets[i] = get()
+	}
+	p.Later = get()
+	return p, b, nil
+}

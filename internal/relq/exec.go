@@ -1,0 +1,184 @@
+package relq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agg"
+)
+
+// Bind validates a parsed query against the table's schema and returns a
+// bound execution plan. Errors cover: wrong table, unknown columns,
+// aggregating a string column, and ordered comparisons against string
+// values.
+func (t *Table) Bind(q *Query) (*Plan, error) {
+	if q.Table != t.schema.Name {
+		return nil, fmt.Errorf("relq: query targets table %q, this is %q", q.Table, t.schema.Name)
+	}
+	plan := &Plan{query: q, table: t}
+	if !q.CountAll {
+		i := t.schema.ColumnIndex(q.AggCol)
+		if i < 0 {
+			return nil, fmt.Errorf("relq: unknown column %q", q.AggCol)
+		}
+		if t.schema.Columns[i].Type != TInt {
+			return nil, fmt.Errorf("relq: cannot %s string column %q", q.Agg, q.AggCol)
+		}
+		plan.aggCol = i
+	} else {
+		plan.aggCol = -1
+	}
+	for _, p := range q.Preds {
+		i := t.schema.ColumnIndex(p.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("relq: unknown column %q", p.Col)
+		}
+		col := t.schema.Columns[i]
+		if col.Type == TString {
+			if p.Op != OpEq && p.Op != OpNe {
+				return nil, fmt.Errorf("relq: ordered comparison on string column %q", p.Col)
+			}
+			if !p.Val.IsString {
+				return nil, fmt.Errorf("relq: string column %q compared to non-string", p.Col)
+			}
+		} else if p.Val.IsString {
+			return nil, fmt.Errorf("relq: integer column %q compared to string", p.Col)
+		}
+		plan.preds = append(plan.preds, boundPred{col: i, op: p.Op, val: p.Val})
+	}
+	return plan, nil
+}
+
+// Plan is a query bound to a concrete table.
+type Plan struct {
+	query  *Query
+	table  *Table
+	aggCol int // -1 for COUNT(*)
+	preds  []boundPred
+}
+
+type boundPred struct {
+	col int
+	op  CmpOp
+	val Expr
+}
+
+func cmpMatch(op CmpOp, v, rhs int64) bool {
+	switch op {
+	case OpEq:
+		return v == rhs
+	case OpNe:
+		return v != rhs
+	case OpLt:
+		return v < rhs
+	case OpLe:
+		return v <= rhs
+	case OpGt:
+		return v > rhs
+	case OpGe:
+		return v >= rhs
+	default:
+		return false
+	}
+}
+
+// Execute runs the plan over the whole table and returns the aggregate
+// partial. nowSeconds binds NOW().
+func (p *Plan) Execute(nowSeconds int64) agg.Partial {
+	rhs := make([]int64, len(p.preds))
+	for i, pr := range p.preds {
+		rhs[i] = pr.val.Resolve(nowSeconds)
+	}
+	var out agg.Partial
+	t := p.table
+rows:
+	for r := 0; r < t.rows; r++ {
+		for i, pr := range p.preds {
+			if !cmpMatch(pr.op, t.cols[pr.col][r], rhs[i]) {
+				continue rows
+			}
+		}
+		if p.aggCol < 0 {
+			out.ObserveRow()
+		} else {
+			out.Observe(float64(t.cols[p.aggCol][r]))
+		}
+	}
+	return out
+}
+
+// CountMatching returns the exact number of rows matching the plan's
+// predicates (the "rows relevant to the query" that completeness is
+// measured against).
+func (p *Plan) CountMatching(nowSeconds int64) int64 {
+	rhs := make([]int64, len(p.preds))
+	for i, pr := range p.preds {
+		rhs[i] = pr.val.Resolve(nowSeconds)
+	}
+	var n int64
+	t := p.table
+rows:
+	for r := 0; r < t.rows; r++ {
+		for i, pr := range p.preds {
+			if !cmpMatch(pr.op, t.cols[pr.col][r], rhs[i]) {
+				continue rows
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// Execute is a convenience wrapper: bind and run in one step.
+func (t *Table) Execute(q *Query, nowSeconds int64) (agg.Partial, error) {
+	plan, err := t.Bind(q)
+	if err != nil {
+		return agg.Partial{}, err
+	}
+	return plan.Execute(nowSeconds), nil
+}
+
+// CountMatching binds and counts rows matching the query's predicates.
+func (t *Table) CountMatching(q *Query, nowSeconds int64) (int64, error) {
+	plan, err := t.Bind(q)
+	if err != nil {
+		return 0, err
+	}
+	return plan.CountMatching(nowSeconds), nil
+}
+
+// predSelectivity estimates the fraction of rows matching one predicate
+// from the column's histogram.
+func predSelectivity(h interface {
+	EstimateRange(lo, hi int64) float64
+	EstimateEq(v int64) float64
+	TotalRows() int64
+}, op CmpOp, rhs int64) float64 {
+	total := float64(h.TotalRows())
+	if total == 0 {
+		return 0
+	}
+	var match float64
+	switch op {
+	case OpEq:
+		match = h.EstimateEq(rhs)
+	case OpNe:
+		match = total - h.EstimateEq(rhs)
+	case OpLt:
+		match = h.EstimateRange(math.MinInt64, rhs-1)
+	case OpLe:
+		match = h.EstimateRange(math.MinInt64, rhs)
+	case OpGt:
+		match = h.EstimateRange(rhs+1, math.MaxInt64)
+	case OpGe:
+		match = h.EstimateRange(rhs, math.MaxInt64)
+	}
+	sel := match / total
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}

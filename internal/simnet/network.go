@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Class labels each message with the overhead category it contributes to.
+// The paper's Figure 9(a) splits total overhead into MSPastry overhead,
+// Seaweed maintenance overhead (metadata replication), and query overhead
+// (dissemination, prediction, and result aggregation).
+type Class int
+
+const (
+	// ClassPastry is overlay upkeep traffic: leafset heartbeats, routing
+	// table maintenance, join traffic.
+	ClassPastry Class = iota
+	// ClassMaintenance is Seaweed metadata replication traffic: pushes of
+	// column histograms and availability models to replica sets, plus
+	// churn-induced re-replication.
+	ClassMaintenance
+	// ClassQuery is per-query traffic: dissemination, completeness
+	// predictor aggregation, heartbeats and result aggregation.
+	ClassQuery
+
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+// String returns the class name used in experiment output.
+func (c Class) String() string {
+	switch c {
+	case ClassPastry:
+		return "pastry"
+	case ClassMaintenance:
+		return "maintenance"
+	case ClassQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Endpoint identifies an endsystem attached to the network, as a dense
+// index in [0, NumEndpoints).
+type Endpoint int
+
+// Handler receives messages delivered to an endsystem. Implementations are
+// typically overlay nodes; they must tolerate delivery while the endsystem
+// is logically offline (and simply drop the message) because in-flight
+// messages are not recalled when an endsystem fails.
+type Handler interface {
+	HandleMessage(from Endpoint, payload any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Endpoint, payload any)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from Endpoint, payload any) { f(from, payload) }
+
+// NetworkConfig parameterizes a Network.
+type NetworkConfig struct {
+	// LossRate is the independent probability that any message is dropped
+	// in flight. The MSPastry evaluation runs at up to 5% loss; Seaweed's
+	// experiments default to 0.
+	LossRate float64
+	// StatsBucket is the width of the time bucket used for bandwidth
+	// accounting (default 1 hour, matching the paper's Figure 9(b)).
+	StatsBucket time.Duration
+	// Horizon is the expected duration of the simulation; it sizes the
+	// per-bucket accounting arrays.
+	Horizon time.Duration
+	// PerEndpointStats enables the per-endsystem per-bucket byte counters
+	// needed for load-distribution CDFs. It costs
+	// O(endsystems × Horizon/StatsBucket) memory; disable for very large
+	// sweeps that only need aggregate numbers.
+	PerEndpointStats bool
+	// Seed drives message-loss randomness.
+	Seed int64
+}
+
+// DefaultNetworkConfig returns the configuration used by the paper's
+// packet-level experiments: no loss, 1-hour accounting buckets, 4-week
+// horizon, per-endsystem statistics enabled.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		StatsBucket:      time.Hour,
+		Horizon:          4 * 7 * 24 * time.Hour,
+		PerEndpointStats: true,
+	}
+}
+
+// Network simulates message exchange between endsystems over a router
+// topology. It charges transmission bytes to the sender and reception bytes
+// to the receiver, delivers messages after the topology's one-way delay, and
+// optionally drops messages at a configured loss rate (transmission is still
+// charged for lost messages).
+type Network struct {
+	sched    *Scheduler
+	topo     *Topology
+	cfg      NetworkConfig
+	rng      *rand.Rand
+	router   []int // endpoint -> router index
+	handlers []Handler
+	stats    *Stats
+}
+
+// NewNetwork creates a network of numEndpoints endsystems attached to
+// routers of topo. Attachment is random but deterministic in cfg.Seed,
+// matching the paper ("each endsystem was directly attached by a LAN link
+// ... to a randomly chosen router").
+func NewNetwork(sched *Scheduler, topo *Topology, numEndpoints int, cfg NetworkConfig) *Network {
+	if cfg.StatsBucket <= 0 {
+		cfg.StatsBucket = time.Hour
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 4 * 7 * 24 * time.Hour
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	router := make([]int, numEndpoints)
+	for i := range router {
+		router[i] = rng.Intn(topo.NumRouters())
+	}
+	return &Network{
+		sched:    sched,
+		topo:     topo,
+		cfg:      cfg,
+		rng:      rng,
+		router:   router,
+		handlers: make([]Handler, numEndpoints),
+		stats:    newStats(numEndpoints, cfg),
+	}
+}
+
+// Scheduler returns the scheduler driving the network.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// NumEndpoints returns the number of endsystems.
+func (n *Network) NumEndpoints() int { return len(n.handlers) }
+
+// Stats returns the bandwidth accounting collected so far.
+func (n *Network) Stats() *Stats { return n.stats }
+
+// Bind installs the message handler for an endsystem. Rebinding replaces
+// the previous handler.
+func (n *Network) Bind(ep Endpoint, h Handler) {
+	n.handlers[ep] = h
+}
+
+// Delay returns the one-way delay between two endsystems.
+func (n *Network) Delay(from, to Endpoint) time.Duration {
+	return n.topo.OneWayDelay(n.router[from], n.router[to])
+}
+
+// AccountAggregate charges bandwidth to an endsystem without simulating
+// individual messages. Protocol layers use it for steady-state background
+// traffic (e.g. overlay heartbeats) whose per-message simulation would be
+// computationally prohibitive at scale; the bytes land in the current
+// statistics bucket.
+func (n *Network) AccountAggregate(ep Endpoint, class Class, txBytes, rxBytes int) {
+	now := n.sched.Now()
+	n.stats.accountTx(ep, class, txBytes, now)
+	n.stats.accountRx(ep, class, rxBytes, now)
+}
+
+// DebugSendHook, when non-nil, observes every Send (payload, wire size,
+// class). Test and profiling instrumentation only.
+var DebugSendHook func(payload any, size int, class Class)
+
+// Send transmits a message of the given wire size from one endsystem to
+// another. The sender is charged size bytes of transmission immediately and
+// the receiver size bytes of reception at delivery time. Delivery invokes
+// the receiver's bound handler after the topology delay, unless the message
+// is lost. Sending to self is delivered after twice the LAN delay.
+func (n *Network) Send(from, to Endpoint, size int, class Class, payload any) {
+	if DebugSendHook != nil {
+		DebugSendHook(payload, size, class)
+	}
+	now := n.sched.Now()
+	n.stats.accountTx(from, class, size, now)
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return
+	}
+	delay := n.Delay(from, to)
+	n.sched.At(now+delay, func() {
+		n.stats.accountRx(to, class, size, n.sched.Now())
+		if h := n.handlers[to]; h != nil {
+			h.HandleMessage(from, payload)
+		}
+	})
+}

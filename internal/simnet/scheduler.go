@@ -1,0 +1,168 @@
+// Package simnet provides the discrete-event network simulator underneath
+// the Seaweed evaluation. It supplies three things: a virtual-time event
+// scheduler, a router-level topology with per-link round-trip times (modeled
+// on the world-wide Microsoft CorpNet topology used in the paper), and an
+// endsystem message layer with per-endsystem bandwidth accounting broken
+// down by traffic class.
+//
+// The paper's simulations cover four weeks of virtual time at millisecond
+// event granularity for tens of thousands of endsystems; the scheduler is a
+// simple binary-heap event queue which comfortably sustains that scale.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a discrete-event scheduler with virtual time. The zero value
+// is not usable; call NewScheduler. Schedulers are not safe for concurrent
+// use: the entire simulation runs single-threaded in virtual time, which is
+// what makes runs deterministic and reproducible.
+type Scheduler struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+}
+
+// NewScheduler returns a scheduler whose clock starts at 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Timer is a handle to a scheduled event (or repeating event), usable to
+// cancel it before it fires.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Cancel prevents the timer's event from firing (and, for repeating timers,
+// stops all future firings). Canceling an already-fired one-shot timer or an
+// already-canceled timer is a no-op returning false.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.ev != nil && t.ev.fn != nil {
+		t.ev.fn = nil // the queue lazily discards canceled events
+		t.ev = nil
+		return true
+	}
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (or present) runs the event at the current time, after all events already
+// scheduled for that time.
+func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("simnet: At called with nil fn")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Timer is canceled. Each firing reschedules the next, so
+// Cancel takes effect at the next period boundary.
+func (s *Scheduler) Every(period time.Duration, fn func()) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("simnet: Every with non-positive period %v", period))
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if t.stopped {
+			return
+		}
+		t.ev = s.After(period, tick).ev
+	}
+	t.ev = s.After(period, tick).ev
+	return t
+}
+
+// Run executes events until the queue is empty. It returns the number of
+// events executed.
+func (s *Scheduler) Run() int { return s.RunUntil(1<<63 - 1) }
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to each event's time, and finally advances the clock to deadline (if the
+// deadline exceeds the last event). It returns the number of events
+// executed.
+func (s *Scheduler) RunUntil(deadline time.Duration) int {
+	n := 0
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.fn == nil {
+			continue // canceled
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		n++
+	}
+	if deadline > s.now && deadline < 1<<63-1 {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of events in the queue, including lazily
+// canceled ones.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among same-time events
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

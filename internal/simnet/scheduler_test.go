@@ -1,0 +1,136 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	n := s.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAmongSameTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Second, func() {})
+	s.Run()
+	fired := time.Duration(-1)
+	s.At(time.Second, func() { fired = s.Now() }) // in the past
+	s.Run()
+	if fired != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamped to now (10s)", fired)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	n := s.RunUntil(5 * time.Second)
+	if n != 5 || count != 5 {
+		t.Fatalf("ran %d events (count %d), want 5", n, count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+	s.RunUntil(20 * time.Second)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if s.Now() != 20*time.Second {
+		t.Fatalf("clock should advance to deadline, got %v", s.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should return true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should return false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tm *Timer
+	tm = s.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			tm.Cancel()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestEveryCancelBeforeFirstFire(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	tm := s.Every(time.Second, func() { count++ })
+	tm.Cancel()
+	s.RunUntil(time.Minute)
+	if count != 0 {
+		t.Fatalf("count = %d, want 0", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Millisecond, recurse)
+		}
+	}
+	s.After(0, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if s.Now() != 99*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}

@@ -1,0 +1,101 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateTopologyDeterministic(t *testing.T) {
+	a := GenerateTopology(DefaultTopologyConfig(), 1)
+	b := GenerateTopology(DefaultTopologyConfig(), 1)
+	if a.NumRouters() != 298 {
+		t.Fatalf("routers = %d, want 298", a.NumRouters())
+	}
+	for i := 0; i < a.NumRouters(); i += 17 {
+		for j := 0; j < a.NumRouters(); j += 13 {
+			if a.RouterRTT(i, j) != b.RouterRTT(i, j) {
+				t.Fatal("same seed produced different topologies")
+			}
+		}
+	}
+}
+
+func TestTopologyConnectedAndSymmetric(t *testing.T) {
+	topo := GenerateTopology(DefaultTopologyConfig(), 2)
+	n := topo.NumRouters()
+	const inf = time.Duration(1<<62 - 1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := topo.RouterRTT(i, j)
+			if d >= inf {
+				t.Fatalf("routers %d and %d unreachable", i, j)
+			}
+			if d != topo.RouterRTT(j, i) {
+				t.Fatalf("asymmetric RTT between %d and %d", i, j)
+			}
+			if i == j && d != 0 {
+				t.Fatalf("self RTT of %d is %v", i, d)
+			}
+			if i != j && d <= 0 {
+				t.Fatalf("non-positive RTT %v between %d and %d", d, i, j)
+			}
+		}
+	}
+}
+
+func TestTopologyTriangleInequality(t *testing.T) {
+	topo := GenerateTopology(DefaultTopologyConfig(), 3)
+	n := topo.NumRouters()
+	// Shortest-path metric must satisfy the triangle inequality.
+	for i := 0; i < n; i += 11 {
+		for j := 0; j < n; j += 7 {
+			for k := 0; k < n; k += 13 {
+				if topo.RouterRTT(i, j) > topo.RouterRTT(i, k)+topo.RouterRTT(k, j) {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyRTTScale(t *testing.T) {
+	topo := GenerateTopology(DefaultTopologyConfig(), 4)
+	n := topo.NumRouters()
+	var sum time.Duration
+	var count int64
+	maxRTT := time.Duration(0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := topo.RouterRTT(i, j)
+			sum += d
+			count++
+			if d > maxRTT {
+				maxRTT = d
+			}
+		}
+	}
+	mean := time.Duration(int64(sum) / count)
+	// A worldwide corporate network: mean tens of ms, max under a second.
+	if mean < 2*time.Millisecond || mean > 500*time.Millisecond {
+		t.Fatalf("mean RTT %v outside plausible corporate-network range", mean)
+	}
+	if maxRTT > time.Second {
+		t.Fatalf("max RTT %v too large", maxRTT)
+	}
+}
+
+func TestUniformTopology(t *testing.T) {
+	topo := UniformTopology(3, 10*time.Millisecond, time.Millisecond)
+	if topo.RouterRTT(0, 1) != 10*time.Millisecond {
+		t.Fatal("uniform RTT wrong")
+	}
+	if topo.RouterRTT(1, 1) != 0 {
+		t.Fatal("self RTT nonzero")
+	}
+	if topo.OneWayDelay(0, 2) != 7*time.Millisecond {
+		t.Fatalf("one-way = %v, want 7ms", topo.OneWayDelay(0, 2))
+	}
+	if topo.OneWayDelay(1, 1) != 2*time.Millisecond {
+		t.Fatalf("same-router one-way = %v, want 2ms", topo.OneWayDelay(1, 1))
+	}
+}
