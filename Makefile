@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench obs-bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: build, vet, and the full test suite under the
+# race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# obs-bench measures the cost of the default-on observability layer
+# (must stay under 5%).
+obs-bench:
+	$(GO) test -bench=BenchmarkObsOverhead -benchtime=3x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

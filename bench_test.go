@@ -244,6 +244,27 @@ func BenchmarkAblationDeltaPush(b *testing.B) {
 	b.ReportMetric(100*saving, "delta-saving-pct")
 }
 
+// BenchmarkObsOverhead measures the cost of the default-on observability
+// layer: the Figure 9(a) run with metrics collected versus the same run
+// with the layer disabled (every instrumentation site degrading to a
+// nil-handle no-op). The reported obs-overhead-pct must stay under 5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	s := benchScale()
+	off := s
+	off.NoObs = true
+	var withObs, withoutObs time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		experiments.Fig9a(s)
+		withObs += time.Since(start)
+		start = time.Now()
+		experiments.Fig9a(off)
+		withoutObs += time.Since(start)
+	}
+	overhead := 100 * (withObs - withoutObs).Seconds() / withoutObs.Seconds()
+	b.ReportMetric(overhead, "obs-overhead-pct")
+}
+
 // ----------------------------------------------- microbenchmarks
 
 func BenchmarkMicroTraceGeneration(b *testing.B) {

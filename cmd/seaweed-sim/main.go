@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	seaweed-sim -fig 5            # one figure
-//	seaweed-sim -fig 9d -full     # paper-scale (slow)
-//	seaweed-sim -ablation arity   # one ablation study
-//	seaweed-sim -all              # every simulation figure at quick scale
+//	seaweed-sim -fig 5                          # one figure
+//	seaweed-sim -fig 9d -full                   # paper-scale (slow)
+//	seaweed-sim -ablation arity                 # one ablation study
+//	seaweed-sim -all                            # every simulation figure at quick scale
+//	seaweed-sim -fig 5 -trace t.jsonl -metrics  # with query trace + metrics summary
+//
+// The trace file is JSONL, one query-lifecycle event per line; summarize
+// it with `seaweed-trace -query t.jsonl`. -metrics prints the system-wide
+// metrics registry (always collected) after the run.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +32,9 @@ func main() {
 	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
 	all := flag.Bool("all", false, "run every simulation figure")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write query-lifecycle trace events to this JSONL file")
+	verbose := flag.Bool("vtrace", false, "with -trace, also record per-hop routing and maintenance detail events")
+	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
 	flag.Parse()
 
 	s := experiments.QuickScale()
@@ -34,6 +43,36 @@ func main() {
 	}
 	s.Seed = *seed
 	w := os.Stdout
+
+	// One shared observability layer across every run this invocation
+	// performs: metrics accumulate, and the tracer (if any) sees all
+	// query lifecycles.
+	o := obs.New()
+	s.Obs = o
+	var traceSink *obs.JSONLSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONLSink(f)
+		tr := obs.NewTracer(traceSink)
+		tr.Verbose = *verbose
+		o.SetTracer(tr)
+	}
+	finish := func() {
+		if traceSink != nil {
+			if err := traceSink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: flushing trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metrics {
+			o.Registry().WriteSummary(w)
+		}
+	}
 
 	runFig := func(name string) {
 		start := time.Now()
@@ -95,4 +134,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }

@@ -1,11 +1,13 @@
 // Command seaweed-trace generates and inspects the synthetic availability
 // traces (Figure 1 and the calibration numbers the models take from the
-// Farsite and Gnutella studies).
+// Farsite and Gnutella studies), and summarizes query-lifecycle trace
+// files written by seaweed-sim -trace.
 //
 // Usage:
 //
 //	seaweed-trace -fig 1                    # hourly availability series
 //	seaweed-trace -kind gnutella -stats     # calibration statistics only
+//	seaweed-trace -query t.jsonl            # per-query latency breakdown
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"repro/internal/avail"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,7 +28,13 @@ func main() {
 	hours := flag.Int("hours", int(4*avail.Week/time.Hour), "trace horizon in hours")
 	seed := flag.Int64("seed", 1, "random seed")
 	statsOnly := flag.Bool("stats", false, "print only the calibration statistics")
+	queryTrace := flag.String("query", "", "summarize the query lifecycles in this JSONL trace file")
 	flag.Parse()
+
+	if *queryTrace != "" {
+		summarizeQueryTrace(*queryTrace)
+		return
+	}
 
 	horizon := time.Duration(*hours) * time.Hour
 	var trace *avail.Trace
@@ -60,4 +69,26 @@ func main() {
 	for h, f := range trace.HourlySeries() {
 		fmt.Printf("%d\t%.4f\n", h, f)
 	}
+}
+
+// summarizeQueryTrace reads a JSONL trace written by seaweed-sim -trace
+// and prints the per-query latency breakdown.
+func summarizeQueryTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seaweed-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seaweed-trace: reading %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	sums := obs.SummarizeQueries(events)
+	if len(sums) == 0 {
+		fmt.Printf("# no query lifecycles in %s (%d events)\n", path, len(events))
+		return
+	}
+	obs.WriteQueryBreakdown(os.Stdout, sums)
 }

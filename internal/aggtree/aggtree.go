@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/relq"
 	"repro/internal/simnet"
@@ -148,6 +149,16 @@ type Engine struct {
 	// keeps each endsystem's contribution counted exactly once even when
 	// leafset changes would now suggest a different entry point.
 	entryVertex map[ids.ID]ids.ID
+
+	// Observability handles, cached at construction (nil-safe no-ops when
+	// disabled).
+	o          *obs.Obs
+	cSubmits   *obs.Counter   // aggtree_submissions
+	cMerged    *obs.Counter   // aggtree_partials_merged
+	cDups      *obs.Counter   // aggtree_dup_contributions
+	cTakeovers *obs.Counter   // aggtree_takeovers
+	cRefresh   *obs.Counter   // aggtree_refresh_repairs
+	hDepth     *obs.Histogram // aggtree_entry_depth
 }
 
 // NewEngine creates an engine for the host.
@@ -155,6 +166,7 @@ func NewEngine(host Host, cfg Config) *Engine {
 	if cfg.B == 0 {
 		cfg.B = 4
 	}
+	o := host.PastryNode().Ring().Obs()
 	return &Engine{
 		cfg:         cfg,
 		host:        host,
@@ -162,6 +174,14 @@ func NewEngine(host Host, cfg Config) *Engine {
 		queries:     make(map[ids.ID]*queryInfo),
 		submitted:   make(map[ids.ID]*contribution),
 		entryVertex: make(map[ids.ID]ids.ID),
+
+		o:          o,
+		cSubmits:   o.Counter("aggtree_submissions"),
+		cMerged:    o.Counter("aggtree_partials_merged"),
+		cDups:      o.Counter("aggtree_dup_contributions"),
+		cTakeovers: o.Counter("aggtree_takeovers"),
+		cRefresh:   o.Counter("aggtree_refresh_repairs"),
+		hDepth:     o.Histogram("aggtree_entry_depth"),
 	}
 }
 
@@ -289,6 +309,12 @@ type resultMsg struct {
 
 func resultMsgSize() int { return ids.Bytes + agg.EncodedPartialSize + 8 }
 
+// TraceQuery implements pastry.Traced, attributing routing events for
+// aggregation traffic to the query's trace.
+func (m *submitMsg) TraceQuery() string { return m.QID.Short() }
+func (m *replMsg) TraceQuery() string   { return m.QID.Short() }
+func (m *resultMsg) TraceQuery() string { return m.QID.Short() }
+
 // --------------------------------------------------------------- protocol
 
 // Submit contributes this endsystem's local result for a query. It may be
@@ -303,6 +329,9 @@ func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector si
 	}
 	c := &contribution{Version: version, Part: part, Contributors: 1}
 	e.submitted[qid] = c
+	e.cSubmits.Inc()
+	e.o.EmitDetail(obs.Event{Kind: obs.KindSubmit, Query: qid.Short(),
+		EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
 	e.sendSubmission(qid, *c)
 }
 
@@ -318,13 +347,18 @@ func (e *Engine) sendSubmission(qid ids.ID, c contribution) {
 	if !ok {
 		v = node.ID()
 		digits := ids.DigitsPerID(e.cfg.B)
+		depth := 0
 		for i := 0; i <= digits && v != qid; i++ {
 			if !node.IsRootOf(v) {
 				break
 			}
 			v = V(qid, v, e.cfg.B)
+			depth++
 		}
 		e.entryVertex[qid] = v
+		// Entry depth measures how many levels the sparse namespace let this
+		// endsystem skip: tree depth from the leaves' perspective.
+		e.hDepth.Observe(int64(depth))
 	}
 	msg := &submitMsg{QID: qid, Vertex: v, Child: node.ID(), C: c,
 		Injector: info.injector, Query: info.query}
@@ -346,6 +380,9 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 	case *replMsg:
 		e.applyRepl(m)
 	case *resultMsg:
+		e.o.Emit(obs.Event{Kind: obs.KindPartial, Query: m.QID.Short(),
+			EP: int(e.host.PastryNode().Endpoint()),
+			N:  m.Contributors, V: float64(m.Part.Count)})
 		e.host.ResultDelivered(m.QID, m.Part, m.Contributors)
 	default:
 		return false
@@ -371,9 +408,11 @@ func (e *Engine) applySubmit(m *submitMsg) {
 	cur, exists := v.children[m.Child]
 	if exists && cur.Version >= m.C.Version {
 		// Stale or duplicate: counted at most once.
+		e.cDups.Inc()
 		return
 	}
 	v.children[m.Child] = m.C
+	e.cMerged.Inc()
 	// A version advance with identical content is a refresh re-assertion:
 	// record it but do not cascade it any further up the tree.
 	if exists && cur.Part == m.C.Part && cur.Contributors == m.C.Contributors {
@@ -417,6 +456,11 @@ func (e *Engine) applyRepl(m *replMsg) {
 	// no-op replications would ping-pong forever between two nodes that
 	// transiently both believe they are the vertex's root.
 	if e.host.PastryNode().IsRootOf(m.Vertex) {
+		if !v.primary {
+			e.cTakeovers.Inc()
+			e.o.Emit(obs.Event{Kind: obs.KindTakeover, Query: m.QID.Short(),
+				EP: int(e.host.PastryNode().Endpoint())})
+		}
 		v.primary = true
 		if changed {
 			// Taking over with fresh state: push the new aggregate up. The
@@ -532,6 +576,9 @@ func (e *Engine) armRefresh(v *vertexState) {
 		if v.dirty || tick%6 == 0 {
 			// Re-assert the aggregate upward; replication to backups is
 			// handled by the update and membership-change paths.
+			if v.dirty {
+				e.cRefresh.Inc()
+			}
 			e.forwardUp(v)
 		}
 	})
@@ -555,6 +602,9 @@ func (e *Engine) HandleLeafsetChanged() {
 			// Take over: the previous primary died or the namespace
 			// shifted toward us.
 			v.primary = true
+			e.cTakeovers.Inc()
+			e.o.Emit(obs.Event{Kind: obs.KindTakeover, Query: v.key.qid.Short(),
+				EP: int(node.Endpoint())})
 			e.propagate(v)
 		case !isRoot:
 			// Membership moved around this vertex while someone else is

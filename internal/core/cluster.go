@@ -8,6 +8,7 @@ import (
 	"repro/internal/anemone"
 	"repro/internal/avail"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/predictor"
 	"repro/internal/relq"
@@ -31,6 +32,14 @@ type ClusterConfig struct {
 	// simulator pre-computed all data and could not support updates; this
 	// lifts that restriction.)
 	Feed FeedConfig
+	// Obs is the observability layer for this run; nil creates a fresh
+	// metrics-only layer (metrics are on by default). Supply one to share a
+	// registry across runs or to attach a tracer.
+	Obs *obs.Obs
+	// NoObs disables observability entirely (every instrumentation site
+	// degrades to a nil-handle no-op); BenchmarkObsOverhead uses it to
+	// quantify the default-on cost.
+	NoObs bool
 }
 
 // FeedConfig parameterizes live data updates.
@@ -82,6 +91,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	sched := simnet.NewScheduler()
 	topo := simnet.GenerateTopology(cfg.Topology, cfg.Seed)
 	net := simnet.NewNetwork(sched, topo, n, cfg.Net)
+	// Attach observability before the protocol layers are built: they cache
+	// their metric handles at construction time.
+	o := cfg.Obs
+	if o == nil && !cfg.NoObs {
+		o = obs.New()
+	}
+	o.BindClock(sched.Now)
+	net.SetObs(o)
 	ring := pastry.NewRing(net, cfg.Pastry)
 	c := &Cluster{Sched: sched, Net: net, Ring: ring, Nodes: make([]*Node, n), cfg: cfg}
 
@@ -139,6 +156,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // RunUntil advances the simulation to the given virtual time.
 func (c *Cluster) RunUntil(t time.Duration) { c.Sched.RunUntil(t) }
 
+// Obs returns the cluster's observability layer (nil when disabled).
+func (c *Cluster) Obs() *obs.Obs { return c.Net.Obs() }
+
 // QueryHandle tracks one injected query's outputs.
 type QueryHandle struct {
 	QueryID     ids.ID
@@ -180,21 +200,52 @@ func (c *Cluster) InjectContinuousQuery(from simnet.Endpoint, q *relq.Query) *Qu
 func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle {
 	h := &QueryHandle{Injected: c.Sched.Now()}
 	node := c.Nodes[from]
+	o := c.Obs()
+	var hit50, hit90, hit99 bool
 	h.QueryID = node.InjectQuery(q,
 		func(p *predictor.Predictor) {
 			h.Predictor = p
 			h.PredictorAt = c.Sched.Now()
 		},
 		func(part agg.Partial, contributors int64) {
+			now := c.Sched.Now()
 			h.Results = append(h.Results, ResultUpdate{
-				At: c.Sched.Now(), Partial: part, Contributors: contributors,
+				At: now, Partial: part, Contributors: contributors,
 			})
+			if len(h.Results) == 1 {
+				o.DurationHistogram("query_time_to_first_result_ns").
+					ObserveDuration(now - h.Injected)
+			}
+			// Time-to-X%-completeness, measured against the predictor's own
+			// expected-total estimate (the denominator the user sees).
+			if h.Predictor == nil {
+				return
+			}
+			total := h.Predictor.ExpectedTotal()
+			if total <= 0 {
+				return
+			}
+			frac := float64(part.Count) / total
+			if !hit50 && frac >= 0.50 {
+				hit50 = true
+				o.DurationHistogram("query_time_to_50pct_ns").ObserveDuration(now - h.Injected)
+			}
+			if !hit90 && frac >= 0.90 {
+				hit90 = true
+				o.DurationHistogram("query_time_to_90pct_ns").ObserveDuration(now - h.Injected)
+			}
+			if !hit99 && frac >= 0.99 {
+				hit99 = true
+				o.DurationHistogram("query_time_to_99pct_ns").ObserveDuration(now - h.Injected)
+			}
 		})
 	return h
 }
 
 // CancelQuery explicitly cancels a query at its injector.
 func (c *Cluster) CancelQuery(h *QueryHandle, from simnet.Endpoint) {
+	c.Obs().Emit(obs.Event{Kind: obs.KindComplete, Query: h.QueryID.Short(),
+		EP: int(from), N: int64(len(h.Results))})
 	c.Nodes[from].CancelQuery(h.QueryID)
 }
 

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/anemone"
 	"repro/internal/avail"
+	"repro/internal/dissem"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/relq"
 )
@@ -40,6 +42,11 @@ type CompletenessConfig struct {
 	// Mode forces the availability-prediction mode (ablation); the zero
 	// value is the paper's classifier-driven behaviour.
 	Mode avail.PredictionMode
+	// Obs is the observability layer; nil disables it for this simulator
+	// (the experiment harness supplies a shared one). Events are emitted
+	// only from the single-threaded assembly step — the parallel
+	// per-endsystem workers never touch it.
+	Obs *obs.Obs
 }
 
 // CompletenessResult is the outcome of one completeness experiment.
@@ -296,7 +303,50 @@ func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *Completeness
 		res.PredictedRows[j] = res.Predicted.RowsBy(d)
 		res.ActualRows[j] = res.ActualRowsAt(d)
 	}
+	observeCompleteness(cfg, res)
 	return res
+}
+
+// observeCompleteness reports one completeness run to the observability
+// layer. This simulator has no scheduler, so events carry explicit
+// virtual timestamps (EmitAt) reconstructed from the arrival step
+// function, and EP is -1 (no endsystem-level attribution exists at this
+// abstraction level).
+func observeCompleteness(cfg CompletenessConfig, res *CompletenessResult) {
+	o := cfg.Obs
+	if o == nil {
+		return
+	}
+	qid := dissem.QueryID(cfg.Query, cfg.InjectAt).Short()
+	total := res.Predicted.ExpectedTotal()
+
+	o.EmitAt(cfg.InjectAt, obs.Event{Kind: obs.KindInject, Query: qid, EP: -1})
+	o.EmitAt(cfg.InjectAt, obs.Event{Kind: obs.KindPredict, Query: qid, EP: -1, V: total})
+	for i, d := range res.arrivalDelays {
+		o.EmitAt(cfg.InjectAt+d, obs.Event{Kind: obs.KindPartial, Query: qid,
+			EP: -1, N: int64(i + 1), V: res.arrivalCum[i]})
+	}
+	o.EmitAt(cfg.InjectAt+cfg.Lifetime, obs.Event{Kind: obs.KindComplete, Query: qid,
+		EP: -1, N: int64(len(res.arrivalDelays))})
+
+	if len(res.arrivalDelays) > 0 {
+		o.DurationHistogram("query_time_to_first_result_ns").
+			ObserveDuration(res.arrivalDelays[0])
+	}
+	if total > 0 {
+		for _, p := range []struct {
+			frac float64
+			name string
+		}{{0.50, "query_time_to_50pct_ns"}, {0.90, "query_time_to_90pct_ns"},
+			{0.99, "query_time_to_99pct_ns"}} {
+			for i, cum := range res.arrivalCum {
+				if cum >= p.frac*total {
+					o.DurationHistogram(p.name).ObserveDuration(res.arrivalDelays[i])
+					break
+				}
+			}
+		}
+	}
 }
 
 // DefaultSampleDelays returns log-spaced observation delays from zero to

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/predictor"
 	"repro/internal/relq"
@@ -68,9 +69,26 @@ type Engine struct {
 	cfg   Config
 	host  Host
 	tasks map[taskKey]*task
-	// waiting holds injector-side callbacks keyed by queryId.
-	waiting map[ids.ID]func(*predictor.Predictor)
+	// waiting holds injector-side callbacks keyed by queryId, with the
+	// injection instant for predictor-latency accounting.
+	waiting map[ids.ID]pendingInject
 	seen    map[ids.ID]bool // queries already passed to QueryObserved
+
+	// Observability handles, cached at construction (nil-safe no-ops when
+	// disabled).
+	o          *obs.Obs
+	cInjects   *obs.Counter   // dissem_injects
+	cRangeMsgs *obs.Counter   // dissem_range_msgs
+	cReissues  *obs.Counter   // dissem_reissues
+	cAbandoned *obs.Counter   // dissem_abandoned
+	cOnBehalf  *obs.Counter   // dissem_onbehalf_predictions
+	hPredLat   *obs.Histogram // dissem_predictor_latency_ns
+}
+
+// pendingInject is one injector-side query awaiting its predictor.
+type pendingInject struct {
+	cb func(*predictor.Predictor)
+	at time.Duration
 }
 
 // DebugContribute, when non-nil, observes every on-behalf-of contribution
@@ -82,19 +100,28 @@ func NewEngine(host Host, cfg Config) *Engine {
 	if cfg.Arity < 2 {
 		cfg.Arity = 2
 	}
+	o := host.PastryNode().Ring().Obs()
 	return &Engine{
 		cfg:     cfg,
 		host:    host,
 		tasks:   make(map[taskKey]*task),
-		waiting: make(map[ids.ID]func(*predictor.Predictor)),
+		waiting: make(map[ids.ID]pendingInject),
 		seen:    make(map[ids.ID]bool),
+
+		o:          o,
+		cInjects:   o.Counter("dissem_injects"),
+		cRangeMsgs: o.Counter("dissem_range_msgs"),
+		cReissues:  o.Counter("dissem_reissues"),
+		cAbandoned: o.Counter("dissem_abandoned"),
+		cOnBehalf:  o.Counter("dissem_onbehalf_predictions"),
+		hPredLat:   o.DurationHistogram("dissem_predictor_latency_ns"),
 	}
 }
 
 // Reset clears all per-query state (the endsystem restarted).
 func (e *Engine) Reset() {
 	e.tasks = make(map[taskKey]*task)
-	e.waiting = make(map[ids.ID]func(*predictor.Predictor))
+	e.waiting = make(map[ids.ID]pendingInject)
 	e.seen = make(map[ids.ID]bool)
 }
 
@@ -114,8 +141,11 @@ func QueryID(q *relq.Query, at time.Duration) ids.ID {
 // It returns the queryId identifying the query systemwide.
 func (e *Engine) Inject(q *relq.Query, onPredictor func(*predictor.Predictor)) ids.ID {
 	node := e.host.PastryNode()
-	qid := QueryID(q, node.Ring().Scheduler().Now())
-	e.waiting[qid] = onPredictor
+	now := node.Ring().Scheduler().Now()
+	qid := QueryID(q, now)
+	e.waiting[qid] = pendingInject{cb: onPredictor, at: now}
+	e.cInjects.Inc()
+	e.o.Emit(obs.Event{Kind: obs.KindInject, Query: qid.Short(), EP: int(node.Endpoint())})
 	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint()}
 	node.Route(qid, msg, startMsgSize(q), simnet.ClassQuery)
 	return qid
@@ -158,6 +188,13 @@ type predictorMsg struct {
 	QueryID ids.ID
 	Pred    *predictor.Predictor
 }
+
+// TraceQuery implements pastry.Traced, attributing routing events for
+// dissemination traffic to the query's trace.
+func (m *startMsg) TraceQuery() string     { return m.QueryID.Short() }
+func (m *rangeMsg) TraceQuery() string     { return m.QueryID.Short() }
+func (m *rangeResp) TraceQuery() string    { return m.QueryID.Short() }
+func (m *predictorMsg) TraceQuery() string { return m.QueryID.Short() }
 
 // --------------------------------------------------------------- task
 
@@ -207,9 +244,15 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 	case *rangeResp:
 		e.handleResp(m)
 	case *predictorMsg:
-		if cb, ok := e.waiting[m.QueryID]; ok {
+		if p, ok := e.waiting[m.QueryID]; ok {
 			delete(e.waiting, m.QueryID)
-			cb(m.Pred)
+			node := e.host.PastryNode()
+			e.hPredLat.ObserveDuration(node.Ring().Scheduler().Now() - p.at)
+			e.o.Emit(obs.Event{Kind: obs.KindPredict, Query: m.QueryID.Short(),
+				EP: int(node.Endpoint()), V: m.Pred.ExpectedTotal()})
+			if p.cb != nil {
+				p.cb(m.Pred)
+			}
 		}
 	default:
 		return false
@@ -220,6 +263,8 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 // handleStart runs at the queryId root: begin the broadcast over the full
 // namespace, with the injector as the parent of the root range.
 func (e *Engine) handleStart(m *startMsg) {
+	e.o.Emit(obs.Event{Kind: obs.KindDisseminate, Query: m.QueryID.Short(),
+		EP: int(e.host.PastryNode().Endpoint())})
 	e.beginTask(m.QueryID, m.Query, ids.ID{}, ids.MaxID, m.Injector, m.Injector)
 }
 
@@ -330,6 +375,9 @@ func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 		if DebugContribute != nil {
 			DebugContribute(node.ID(), rec.Subject, rows)
 		}
+		e.cOnBehalf.Inc()
+		e.o.EmitDetail(obs.Event{Kind: obs.KindOnBehalf, Query: t.key.qid.Short(),
+			EP: int(node.Endpoint()), V: rows})
 		t.acc.AddModel(rec.Model, now, rec.DownSince, rows)
 	}
 }
@@ -340,6 +388,7 @@ func (e *Engine) sendSubrange(t *task, s *subrange) {
 	node := e.host.PastryNode()
 	msg := &rangeMsg{QueryID: t.key.qid, Query: t.query, Lo: s.lo, Hi: s.hi,
 		Parent: node.Endpoint(), Injector: t.injector}
+	e.cRangeMsgs.Inc()
 	node.Route(ids.Midpoint(s.lo, s.hi), msg, rangeMsgSize(t.query), simnet.ClassQuery)
 	s.timer = node.Ring().Scheduler().After(e.cfg.ResponseTimeout, func() {
 		e.subrangeTimeout(t, s)
@@ -356,10 +405,16 @@ func (e *Engine) subrangeTimeout(t *task, s *subrange) {
 	if s.retries >= e.cfg.MaxRetries {
 		s.done = true
 		t.open--
+		e.cAbandoned.Inc()
+		e.o.Emit(obs.Event{Kind: obs.KindDissemAbandon, Query: t.key.qid.Short(),
+			EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries)})
 		e.maybeFinish(t)
 		return
 	}
 	s.retries++
+	e.cReissues.Inc()
+	e.o.Emit(obs.Event{Kind: obs.KindDissemRetry, Query: t.key.qid.Short(),
+		EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries)})
 	e.sendSubrange(t, s)
 }
 

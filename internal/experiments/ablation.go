@@ -33,6 +33,7 @@ func AblationDissemArity(s Scale, arities []int) *ArityAblationResult {
 	for _, arity := range arities {
 		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
 		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
 		cfg.Node.Dissem.Arity = arity
 		c := core.NewCluster(cfg)
@@ -80,6 +81,7 @@ func AblationPredictorMode(s Scale) *PredictorModeResult {
 		Query:    relq.MustParse(Fig9Query),
 		InjectAt: s.InjectAt(),
 		Lifetime: 48 * time.Hour,
+		Obs:      s.Obs,
 	}
 	modes := []struct {
 		name string
@@ -233,6 +235,7 @@ func AblationPushPeriod(s Scale, periods []time.Duration) *PushPeriodResult {
 
 		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
 		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
 		cfg.Node.Meta.PushPeriod = period
 		c := core.NewCluster(cfg)
@@ -270,6 +273,7 @@ func AblationVertexReplicas(s Scale, backups []int) *VertexReplicaResult {
 	for _, m := range backups {
 		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
 		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
 		cfg.Node.Agg.Backups = m
 		c := core.NewCluster(cfg)
@@ -335,6 +339,7 @@ func AblationDeltaPush(s Scale) *DeltaPushResult {
 	run := func(delta bool) float64 {
 		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
 		cfg := core.DefaultClusterConfig(trace, s.Seed)
+		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
 		cfg.Feed = core.FeedConfig{Enabled: true, Period: 30 * time.Minute}
 		cfg.Node.Meta.DeltaPush = delta

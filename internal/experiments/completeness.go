@@ -92,6 +92,7 @@ func RunCompletenessFigure(s Scale, qi int) *CompletenessFigure {
 		Workload: w,
 		Query:    relq.MustParse(spec.SQL),
 		Lifetime: 48 * time.Hour,
+		Obs:      s.Obs,
 	}
 
 	out := &CompletenessFigure{Figure: spec.Figure, SQL: spec.SQL, Checkpoints: ErrorCheckpoints}

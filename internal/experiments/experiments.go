@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/avail"
+	"repro/internal/obs"
 )
 
 // Scale sets the size of the simulated deployments.
@@ -34,6 +35,13 @@ type Scale struct {
 	FlowsPerDay int
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when set, is shared by every cluster and completeness run the
+	// experiment performs: metrics accumulate across runs and any attached
+	// tracer sees all their query lifecycles. Nil gives each cluster its
+	// own metrics-only layer.
+	Obs *obs.Obs
+	// NoObs disables observability in every run (benchmark baseline).
+	NoObs bool
 }
 
 // QuickScale returns a scale suitable for benchmarks and fast CLI runs:

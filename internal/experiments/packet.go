@@ -29,6 +29,7 @@ type packetRun struct {
 func runPacket(s Scale, trace *avail.Trace, seed int64) *packetRun {
 	cfg := core.DefaultClusterConfig(trace, seed)
 	cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+	cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 	// The paper lets the Figure 9 query run to the end of the simulation
 	// (weeks), so the default 48 h query TTL is disabled here.
 	cfg.Node.Agg.QueryTTL = 0
@@ -305,6 +306,7 @@ func Fig2(s Scale) *Fig2Result {
 	trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
 	cfg := core.DefaultClusterConfig(trace, s.Seed)
 	cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+	cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
 	c := core.NewCluster(cfg)
 	injectAt := s.PacketHorizon / 2
 	injectAt -= injectAt % avail.Day // midnight

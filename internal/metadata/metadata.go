@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/avail"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/relq"
 	"repro/internal/simnet"
@@ -99,11 +100,20 @@ type Service struct {
 	// lastPushed tracks, per replica member, the summary version most
 	// recently sent to it, the base for delta-encoded pushes.
 	lastPushed map[ids.ID]*relq.Summary
+
+	// Observability handles, cached at construction (nil-safe no-ops when
+	// disabled).
+	o          *obs.Obs
+	cPushes    *obs.Counter // meta_pushes
+	cRerepl    *obs.Counter // meta_rereplications
+	cEvictions *obs.Counter // meta_evictions
+	cDownMarks *obs.Counter // meta_down_marks
 }
 
 // NewService creates the service for a node. It becomes active on
 // Activate (after the node joins the overlay).
 func NewService(node *pastry.Node, cfg Config, seed int64) *Service {
+	o := node.Ring().Obs()
 	return &Service{
 		cfg:        cfg,
 		node:       node,
@@ -111,6 +121,12 @@ func NewService(node *pastry.Node, cfg Config, seed int64) *Service {
 		store:      make(map[ids.ID]*Record),
 		prevLeaf:   make(map[ids.ID]pastry.NodeRef),
 		lastPushed: make(map[ids.ID]*relq.Summary),
+
+		o:          o,
+		cPushes:    o.Counter("meta_pushes"),
+		cRerepl:    o.Counter("meta_rereplications"),
+		cEvictions: o.Counter("meta_evictions"),
+		cDownMarks: o.Counter("meta_down_marks"),
 	}
 }
 
@@ -177,7 +193,9 @@ func (s *Service) pushOwn() {
 	rec.Version = now
 	rec.Up = true
 	s.own = rec
+	s.o.EmitDetail(obs.Event{Kind: obs.KindMetaPush, EP: int(s.node.Endpoint())})
 	for _, m := range s.node.ReplicaSet(s.cfg.K) {
+		s.cPushes.Inc()
 		size := rec.WireSize
 		if s.cfg.DeltaPush && rec.Summary != nil {
 			if prev, ok := s.lastPushed[m.ID]; ok {
@@ -252,6 +270,7 @@ func (s *Service) HandleLeafsetChanged() {
 			if rec, ok := s.store[id]; ok && rec.Up {
 				rec.Up = false
 				rec.DownSince = now
+				s.cDownMarks.Inc()
 			}
 		}
 	}
@@ -262,6 +281,9 @@ func (s *Service) HandleLeafsetChanged() {
 			rs := s.localReplicaSet(rec.Subject, s.cfg.K)
 			for _, a := range added {
 				if _, in := rs[a.ID]; in {
+					s.cRerepl.Inc()
+					s.o.EmitDetail(obs.Event{Kind: obs.KindMetaRereplicate,
+						EP: int(s.node.Endpoint())})
 					s.send(a, rec)
 				}
 			}
@@ -282,6 +304,7 @@ func (s *Service) HandleLeafsetChanged() {
 	for id := range s.store {
 		if !s.withinLocalClosest(id, slack) {
 			delete(s.store, id)
+			s.cEvictions.Inc()
 		}
 	}
 }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter handle not stable across lookups")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	o.Counter("x").Inc()
+	o.Gauge("x").Set(1)
+	o.Histogram("x").Observe(1)
+	o.DurationHistogram("x").ObserveDuration(time.Second)
+	o.Emit(Event{Kind: KindInject})
+	o.EmitDetail(Event{Kind: KindRouteDeliver})
+	o.BindClock(func() time.Duration { return 0 })
+	o.SetTracer(nil)
+	if o.Tracing() {
+		t.Fatal("nil Obs reports tracing")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil || r.Gauge("x") != nil {
+		t.Fatal("nil registry returned non-nil handle")
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Fatalf("nil registry summary = %q", sb.String())
+	}
+}
+
+// TestHistogramBucketing pins the log2 bucket boundaries: 0 is its own
+// bucket, and each value v >= 1 lands in bucket bits.Len(v), i.e.
+// [2^(i-1), 2^i).
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	wantBuckets := map[int]uint64{
+		0:  1, // value 0
+		1:  1, // value 1
+		2:  2, // values 2,3
+		3:  2, // values 4,7
+		4:  1, // value 8
+		10: 1, // value 1023
+		11: 1, // value 1024
+	}
+	for i, want := range wantBuckets {
+		if h.buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.buckets[i], want)
+		}
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1024 {
+		t.Fatalf("min/max = %d/%d, want 0/1024", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(100)
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("single-sample p50 = %g, want 100 (clamped to min==max)", got)
+	}
+	h2 := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h2.Observe(int64(i))
+	}
+	p50 := h2.Quantile(0.50)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 of U[0,1000) = %g, want within its log2 bucket [256,1024)", p50)
+	}
+	if got := h2.Quantile(0); got != 0 {
+		t.Fatalf("q=0 should be min, got %g", got)
+	}
+	if got := h2.Quantile(1); got != 999 {
+		t.Fatalf("q=1 should be max, got %g", got)
+	}
+	// Quantiles are monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h2.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%g gives %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	// Negative values clamp to zero rather than corrupting buckets.
+	h3 := &Histogram{}
+	h3.Observe(-5)
+	if h3.Min() != 0 || h3.Quantile(0.5) != 0 {
+		t.Fatal("negative observation did not clamp to 0")
+	}
+}
+
+func TestHistogramAllZeroSamples(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("all-zero histogram should summarize to zeros")
+	}
+}
+
+func TestRegistrySummaryOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Inc()
+	r.Counter("a_count").Add(2)
+	r.DurationHistogram("lat").ObserveDuration(3 * time.Second)
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	out := sb.String()
+	if strings.Index(out, "a_count") > strings.Index(out, "b_count") {
+		t.Fatalf("summary not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "lat\tcount=1") || !strings.Contains(out, "3s") {
+		t.Fatalf("duration histogram not rendered as duration:\n%s", out)
+	}
+}
+
+func TestObsClockStampsEvents(t *testing.T) {
+	o := New()
+	sink := NewRingSink(8)
+	o.SetTracer(NewTracer(sink))
+	now := 5 * time.Minute
+	o.BindClock(func() time.Duration { return now })
+	o.Emit(Event{Kind: KindInject, Query: "q", EP: 3})
+	now = 7 * time.Minute
+	o.Emit(Event{Kind: KindPredict, Query: "q", EP: 3})
+	o.EmitDetail(Event{Kind: KindRouteDeliver}) // dropped: not verbose
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (detail suppressed)", len(evs))
+	}
+	if evs[0].T != 5*time.Minute || evs[1].T != 7*time.Minute {
+		t.Fatalf("timestamps = %v, %v", evs[0].T, evs[1].T)
+	}
+	o.Tracer().Verbose = true
+	o.EmitDetail(Event{Kind: KindRouteDeliver})
+	if got := len(sink.Events()); got != 3 {
+		t.Fatalf("verbose detail not recorded, have %d events", got)
+	}
+}
+
+func TestRingSinkWraps(t *testing.T) {
+	s := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		s.Record(Event{N: int64(i)})
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	for i, want := range []int64{2, 3, 4} {
+		if evs[i].N != want {
+			t.Fatalf("evs[%d].N = %d, want %d (oldest first)", i, evs[i].N, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// QuerySummary is the per-query latency breakdown derived from a trace:
+// where one query spent its virtual time between injection and its final
+// incremental result.
+type QuerySummary struct {
+	Query    string
+	InjectAt time.Duration
+	Injector int
+
+	// Dissemination is inject → predictor delivery: the time the
+	// divide-and-conquer broadcast plus predictor aggregation took
+	// (negative when the trace holds no predict event).
+	Dissemination time.Duration
+	// Aggregation is inject → first partial result: the initial wave of
+	// available endsystems' results merging up the aggregation tree.
+	Aggregation time.Duration
+	// AvailabilityWait is first partial → last partial: the long tail
+	// spent waiting for offline endsystems to come back and contribute.
+	AvailabilityWait time.Duration
+
+	// Partials counts incremental result updates; P50/P90/P99 summarize
+	// the distribution of their arrival delays since injection.
+	Partials      int
+	P50, P90, P99 time.Duration
+
+	// MaxContributors is the largest contributor count any partial
+	// reported; FinalRows the row count of the last partial.
+	MaxContributors int64
+	FinalRows       float64
+
+	// Retries and Drops count dissemination reissues and overlay hop-limit
+	// drops attributed to this query.
+	Retries int
+	Drops   int
+
+	// Completed reports an explicit complete (cancel) event.
+	Completed bool
+}
+
+// SummarizeQueries folds a trace into per-query breakdowns, ordered by
+// injection time. Events for queries with no inject event (a trace
+// truncated by a ring sink) are summarized from their earliest event.
+func SummarizeQueries(events []Event) []QuerySummary {
+	type acc struct {
+		qs       QuerySummary
+		sawInj   bool
+		sawPred  bool
+		partials []time.Duration
+		lastAt   time.Duration
+	}
+	byQuery := make(map[string]*acc)
+	order := []string{}
+	get := func(q string) *acc {
+		a, ok := byQuery[q]
+		if !ok {
+			a = &acc{qs: QuerySummary{Query: q, InjectAt: -1, Injector: -1,
+				Dissemination: -1, Aggregation: -1}}
+			byQuery[q] = a
+			order = append(order, q)
+		}
+		return a
+	}
+	for _, ev := range events {
+		if ev.Query == "" {
+			continue
+		}
+		a := get(ev.Query)
+		if !a.sawInj && (a.qs.InjectAt < 0 || ev.T < a.qs.InjectAt) {
+			a.qs.InjectAt = ev.T // earliest event stands in until an inject arrives
+		}
+		switch ev.Kind {
+		case KindInject:
+			a.sawInj = true
+			a.qs.InjectAt = ev.T
+			a.qs.Injector = ev.EP
+		case KindPredict:
+			if !a.sawPred {
+				a.sawPred = true
+				a.qs.Dissemination = ev.T - a.qs.InjectAt
+			}
+		case KindPartial:
+			a.partials = append(a.partials, ev.T)
+			if ev.N > a.qs.MaxContributors {
+				a.qs.MaxContributors = ev.N
+			}
+			a.qs.FinalRows = ev.V
+		case KindDissemRetry:
+			a.qs.Retries++
+		case KindRouteDrop:
+			a.qs.Drops++
+		case KindComplete:
+			a.qs.Completed = true
+		}
+		if ev.T > a.lastAt {
+			a.lastAt = ev.T
+		}
+	}
+
+	out := make([]QuerySummary, 0, len(order))
+	for _, q := range order {
+		a := byQuery[q]
+		qs := a.qs
+		qs.Partials = len(a.partials)
+		if qs.Partials > 0 {
+			sort.Slice(a.partials, func(i, j int) bool { return a.partials[i] < a.partials[j] })
+			first, last := a.partials[0], a.partials[len(a.partials)-1]
+			qs.Aggregation = first - qs.InjectAt
+			qs.AvailabilityWait = last - first
+			pct := func(p float64) time.Duration {
+				return a.partials[nearestRank(p, len(a.partials))] - qs.InjectAt
+			}
+			qs.P50, qs.P90, qs.P99 = pct(0.50), pct(0.90), pct(0.99)
+		}
+		out = append(out, qs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InjectAt != out[j].InjectAt {
+			return out[i].InjectAt < out[j].InjectAt
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// WriteQueryBreakdown renders the per-query latency breakdown table plus,
+// when several queries are present, cross-query phase percentiles.
+func WriteQueryBreakdown(w io.Writer, sums []QuerySummary) {
+	fmt.Fprintf(w, "# query lifecycle breakdown (%d queries)\n", len(sums))
+	fmt.Fprintln(w, "# phase legend: dissem = inject→predictor; agg = inject→first result;")
+	fmt.Fprintln(w, "#               avail_wait = first→last result (offline-endsystem tail)")
+	fmt.Fprintln(w, "# query\tinject_at\tdissem\tagg\tavail_wait\tpartials\tp50\tp90\tp99\tcontributors\tretries\tdrops")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\n",
+			s.Query, s.InjectAt,
+			fmtPhase(s.Dissemination), fmtPhase(s.Aggregation), fmtPhase(s.AvailabilityWait),
+			s.Partials, fmtPhase(s.P50), fmtPhase(s.P90), fmtPhase(s.P99),
+			s.MaxContributors, s.Retries, s.Drops)
+	}
+	if len(sums) > 1 {
+		fmt.Fprintln(w, "# cross-query phase percentiles")
+		fmt.Fprintln(w, "# phase\tp50\tp90\tp99")
+		writePhaseRow(w, "dissemination", sums, func(s QuerySummary) time.Duration { return s.Dissemination })
+		writePhaseRow(w, "aggregation", sums, func(s QuerySummary) time.Duration { return s.Aggregation })
+		writePhaseRow(w, "avail_wait", sums, func(s QuerySummary) time.Duration { return s.AvailabilityWait })
+	}
+}
+
+func writePhaseRow(w io.Writer, name string, sums []QuerySummary, get func(QuerySummary) time.Duration) {
+	var ds []time.Duration
+	for _, s := range sums {
+		if d := get(s); d >= 0 {
+			ds = append(ds, d)
+		}
+	}
+	if len(ds) == 0 {
+		fmt.Fprintf(w, "%s\t-\t-\t-\n", name)
+		return
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) time.Duration { return ds[nearestRank(p, len(ds))] }
+	fmt.Fprintf(w, "%s\t%v\t%v\t%v\n", name, pct(0.50), pct(0.90), pct(0.99))
+}
+
+// nearestRank returns the nearest-rank index of the p-quantile in a
+// sorted sample of size n (so the p99 of a tiny sample is its maximum).
+func nearestRank(p float64, n int) int {
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// fmtPhase renders a phase duration, with "-" for absent (negative)
+// phases.
+func fmtPhase(d time.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Minute).String()
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,11 +1,13 @@
 package pastry
 
 import (
+	"log"
 	"time"
 
 	"sort"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -134,6 +136,7 @@ func (n *Node) Start() {
 		}
 		return
 	}
+	n.ring.cJoins.Inc()
 	n.sendJoinRequest()
 }
 
@@ -154,7 +157,10 @@ func (n *Node) sendJoinRequest() {
 	req := &joinRequest{Joiner: n.Ref()}
 	n.ring.net.Send(n.ep, contact.EP, refBytes+16, simnet.ClassPastry, req)
 	timeout := 10 * n.ring.cfg.RetryTimeout
-	n.joinRetry = n.ring.sched.After(timeout, n.sendJoinRequest)
+	n.joinRetry = n.ring.sched.After(timeout, func() {
+		n.ring.cJoinRetry.Inc()
+		n.sendJoinRequest()
+	})
 }
 
 // Stop takes the node down silently (a crash or power-off). Failure
@@ -203,10 +209,23 @@ func (n *Node) Route(key ids.ID, payload any, size int, class simnet.Class) {
 // message's original sender, passed through to Deliver.
 func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 	if env.Hops >= maxHops {
-		return // routing failure; application-level retransmission recovers
+		// Routing failure; application-level retransmission recovers, but
+		// the drop must be visible: a silently vanishing message has
+		// repeatedly masked routing-loop bugs.
+		n.ring.cHopDrops.Inc()
+		n.ring.o.Emit(obs.Event{Kind: obs.KindRouteDrop,
+			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
+		if n.ring.cfg.DebugLog {
+			log.Printf("pastry: dropped route to %s at ep %d: hop limit %d exceeded",
+				env.Key.Short(), n.ep, maxHops)
+		}
+		return
 	}
 	next, selfIsRoot := n.nextHop(env.Key)
 	if selfIsRoot {
+		n.ring.hHops.Observe(int64(env.Hops))
+		n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteDeliver,
+			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		n.app.Deliver(env.Key, origin, env.Payload)
 		return
 	}
@@ -216,6 +235,9 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		// Stale entry: the transmission is wasted, and after a timeout the
 		// node removes the entry and reroutes — modeling MSPastry's
 		// per-hop ack timeout.
+		n.ring.cStale.Inc()
+		n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteRetry,
+			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		n.ring.net.AccountAggregate(n.ep, env.Class, size, 0)
 		n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
 			if !n.alive {
@@ -430,6 +452,8 @@ func (n *Node) removeFromLeafset(ref NodeRef) {
 		return
 	}
 	n.leaf = append(n.leaf[:idx], n.leaf[idx+1:]...)
+	n.ring.cRepairs.Inc()
+	n.ring.o.Emit(obs.Event{Kind: obs.KindLeafsetRepair, EP: int(n.ep)})
 	n.repairLeafset()
 	if n.app != nil {
 		n.app.LeafsetChanged()
@@ -494,6 +518,15 @@ func (n *Node) setLeafset(cands []NodeRef) {
 func (n *Node) handleJoinRequest(req *joinRequest) {
 	req.Hops++
 	if req.Hops >= maxHops {
+		// Dropped join: the joiner's retry timer re-issues the request, but
+		// record the failure rather than losing it silently.
+		n.ring.cJoinDrops.Inc()
+		n.ring.o.Emit(obs.Event{Kind: obs.KindRouteDrop, EP: int(n.ep),
+			N: int64(req.Hops)})
+		if n.ring.cfg.DebugLog {
+			log.Printf("pastry: dropped join request from %s at ep %d: hop limit %d exceeded",
+				req.Joiner.ID.Short(), n.ep, maxHops)
+		}
 		return
 	}
 	next, selfIsRoot := n.nextHop(req.Joiner.ID)
@@ -551,6 +584,7 @@ func (n *Node) handleJoinReply(reply *joinReply) {
 		n.learn(ref)
 	}
 	n.ring.insertLive(n.Ref())
+	n.ring.o.Emit(obs.Event{Kind: obs.KindJoin, EP: int(n.ep)})
 	ann := &nodeAnnounce{Node: n.Ref()}
 	for _, m := range n.leaf {
 		if n.ring.isLive(m) {

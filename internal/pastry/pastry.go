@@ -54,6 +54,9 @@ type Config struct {
 	AccountingPeriod time.Duration
 	// Seed drives protocol randomness (detection jitter, probe targets).
 	Seed int64
+	// DebugLog logs routing failures (hop-limit drops) to the standard
+	// logger. The pastry_maxhops_drops counters record them regardless.
+	DebugLog bool
 }
 
 // DefaultConfig returns the paper's overlay configuration.
@@ -84,6 +87,23 @@ type Application interface {
 	// changes (a neighbor died or a new node joined nearby). Seaweed uses
 	// it to maintain metadata replica sets.
 	LeafsetChanged()
+}
+
+// Traced is implemented by routed payloads that belong to a query. The
+// observability layer uses it to attribute routing events (per-hop
+// deliveries, retries, hop-limit drops) to the query's trace.
+type Traced interface {
+	// TraceQuery returns the query's trace label.
+	TraceQuery() string
+}
+
+// traceQuery returns the trace label of a payload, or "" for untraced
+// payloads.
+func traceQuery(payload any) string {
+	if t, ok := payload.(Traced); ok {
+		return t.TraceQuery()
+	}
+	return ""
 }
 
 // refBytes is the wire size of one NodeRef in protocol messages.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -26,20 +27,45 @@ type Ring struct {
 
 	nodes []*Node   // by endpoint; nil until AddNode
 	live  []NodeRef // ground truth, sorted by ID
+
+	// Observability handles, cached once at construction (nil-safe no-ops
+	// when the network has no obs layer attached).
+	o          *obs.Obs
+	hHops      *obs.Histogram // pastry_hops: hops per delivered route
+	cStale     *obs.Counter   // pastry_stale_retries
+	cRepairs   *obs.Counter   // pastry_leafset_repairs
+	cJoins     *obs.Counter   // pastry_joins
+	cJoinRetry *obs.Counter   // pastry_join_retries
+	cHopDrops  *obs.Counter   // pastry_maxhops_drops
+	cJoinDrops *obs.Counter   // pastry_join_maxhops_drops
 }
 
 // NewRing creates an empty ring over the network.
 func NewRing(net *simnet.Network, cfg Config) *Ring {
+	o := net.Obs()
 	r := &Ring{
 		cfg:   cfg,
 		net:   net,
 		sched: net.Scheduler(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make([]*Node, net.NumEndpoints()),
+
+		o:          o,
+		hHops:      o.Histogram("pastry_hops"),
+		cStale:     o.Counter("pastry_stale_retries"),
+		cRepairs:   o.Counter("pastry_leafset_repairs"),
+		cJoins:     o.Counter("pastry_joins"),
+		cJoinRetry: o.Counter("pastry_join_retries"),
+		cHopDrops:  o.Counter("pastry_maxhops_drops"),
+		cJoinDrops: o.Counter("pastry_join_maxhops_drops"),
 	}
 	r.startAccounting()
 	return r
 }
+
+// Obs returns the observability layer attached to the underlying network
+// (nil when disabled).
+func (r *Ring) Obs() *obs.Obs { return r.o }
 
 // Config returns the ring's configuration.
 func (r *Ring) Config() Config { return r.cfg }

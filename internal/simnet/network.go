@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Class labels each message with the overhead category it contributes to.
@@ -105,6 +107,10 @@ type Network struct {
 	router   []int // endpoint -> router index
 	handlers []Handler
 	stats    *Stats
+
+	o      *obs.Obs
+	cSends *obs.Counter // net_sends
+	cLost  *obs.Counter // net_lost (dropped by the loss model)
 }
 
 // NewNetwork creates a network of numEndpoints endsystems attached to
@@ -136,6 +142,18 @@ func NewNetwork(sched *Scheduler, topo *Topology, numEndpoints int, cfg NetworkC
 
 // Scheduler returns the scheduler driving the network.
 func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// SetObs attaches the observability layer. Call before protocol layers
+// are built on top of the network: they cache their metric handles at
+// construction time. A nil layer (the default) disables collection.
+func (n *Network) SetObs(o *obs.Obs) {
+	n.o = o
+	n.cSends = o.Counter("net_sends")
+	n.cLost = o.Counter("net_lost")
+}
+
+// Obs returns the attached observability layer (nil when disabled).
+func (n *Network) Obs() *obs.Obs { return n.o }
 
 // NumEndpoints returns the number of endsystems.
 func (n *Network) NumEndpoints() int { return len(n.handlers) }
@@ -180,7 +198,9 @@ func (n *Network) Send(from, to Endpoint, size int, class Class, payload any) {
 	}
 	now := n.sched.Now()
 	n.stats.accountTx(from, class, size, now)
+	n.cSends.Inc()
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.cLost.Inc()
 		return
 	}
 	delay := n.Delay(from, to)

@@ -22,9 +22,14 @@ type Stats struct {
 	classTx [NumClasses][]float64 // bytes per bucket, per class, systemwide
 	classRx [NumClasses][]float64
 
+	// Per-endpoint counters are uint64: a uint32 caps one endsystem's
+	// bucket at 4 GiB, which a -full horizon run with coarse buckets (or a
+	// future high-bandwidth workload) can overflow silently. The widening
+	// costs numEndpoints × numBuckets × 8 extra bytes — accept that rather
+	// than risk wrapped load CDFs.
 	perEndpoint bool
-	epTx        [][]uint32 // [endpoint][bucket] bytes transmitted
-	epRx        [][]uint32
+	epTx        [][]uint64 // [endpoint][bucket] bytes transmitted
+	epRx        [][]uint64
 
 	totalTx [NumClasses]float64 // cumulative, systemwide
 	totalRx [NumClasses]float64
@@ -42,11 +47,11 @@ func newStats(numEndpoints int, cfg NetworkConfig) *Stats {
 		s.classRx[c] = make([]float64, nb)
 	}
 	if cfg.PerEndpointStats {
-		s.epTx = make([][]uint32, numEndpoints)
-		s.epRx = make([][]uint32, numEndpoints)
+		s.epTx = make([][]uint64, numEndpoints)
+		s.epRx = make([][]uint64, numEndpoints)
 		for i := range s.epTx {
-			s.epTx[i] = make([]uint32, nb)
-			s.epRx[i] = make([]uint32, nb)
+			s.epTx[i] = make([]uint64, nb)
+			s.epRx[i] = make([]uint64, nb)
 		}
 	}
 	return s
@@ -68,7 +73,7 @@ func (s *Stats) accountTx(ep Endpoint, class Class, size int, t time.Duration) {
 	s.classTx[class][b] += float64(size)
 	s.totalTx[class] += float64(size)
 	if s.perEndpoint {
-		s.epTx[ep][b] += uint32(size)
+		s.epTx[ep][b] += uint64(size)
 	}
 }
 
@@ -77,7 +82,7 @@ func (s *Stats) accountRx(ep Endpoint, class Class, size int, t time.Duration) {
 	s.classRx[class][b] += float64(size)
 	s.totalRx[class] += float64(size)
 	if s.perEndpoint {
-		s.epRx[ep][b] += uint32(size)
+		s.epRx[ep][b] += uint64(size)
 	}
 }
 
