@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench obs-bench check clean
+.PHONY: all build vet test race bench runner-bench sweep-smoke obs-bench check clean
 
 all: check
 
@@ -20,8 +20,19 @@ race:
 # race detector.
 check: build vet race
 
-bench:
+bench: runner-bench
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# runner-bench runs the Figures 5-8 completeness sweep through the
+# parallel experiment engine and emits BENCH_runner.json (wall clock,
+# busy time, and speedup vs serial execution).
+runner-bench:
+	$(GO) run ./cmd/seaweed-sim -sweep -parallel 0 -bench BENCH_runner.json > /dev/null
+
+# sweep-smoke is the CI smoke test: a shrunken parallel sweep that
+# exercises the engine, the sinks, and the bench summary end to end.
+sweep-smoke:
+	$(GO) run ./cmd/seaweed-sim -sweep -smoke -parallel 2 -bench BENCH_runner.json -out sweep-smoke
 
 # obs-bench measures the cost of the default-on observability layer
 # (must stay under 5%).

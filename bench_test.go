@@ -291,9 +291,7 @@ func BenchmarkMicroCompletenessSim(b *testing.B) {
 func BenchmarkMicroClusterDay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		trace := FarsiteTrace(100, 24*time.Hour, int64(i))
-		cfg := DefaultClusterConfig(trace, int64(i))
-		cfg.Workload.MeanFlowsPerDay = 30
-		c := NewCluster(cfg)
+		c := NewCluster(trace, WithSeed(int64(i)), WithFlowsPerDay(30))
 		c.RunUntil(24 * time.Hour)
 	}
 }

@@ -9,7 +9,14 @@
 //	seaweed-sim -fig 9d -full                   # paper-scale (slow)
 //	seaweed-sim -ablation arity                 # one ablation study
 //	seaweed-sim -all                            # every simulation figure at quick scale
+//	seaweed-sim -sweep -parallel 8              # Figures 5–8 as one parallel sweep
+//	seaweed-sim -sweep -out results             # also write results.jsonl/.csv records
+//	seaweed-sim -sweep -bench BENCH_runner.json # emit the engine perf summary
 //	seaweed-sim -fig 5 -trace t.jsonl -metrics  # with query trace + metrics summary
+//
+// -parallel N fans independent simulation runs across N workers of the
+// deterministic engine (0 = all cores); results are byte-identical at any
+// worker count. -smoke shrinks every dimension for CI smoke tests.
 //
 // The trace file is JSONL, one query-lifecycle event per line; summarize
 // it with `seaweed-trace -query t.jsonl`. -metrics prints the system-wide
@@ -24,6 +31,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -31,6 +39,11 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation to run: arity, predictor, histogram, push, replicas, deltapush")
 	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
 	all := flag.Bool("all", false, "run every simulation figure")
+	sweep := flag.Bool("sweep", false, "run the Figures 5–8 completeness sweep through the parallel engine")
+	parallel := flag.Int("parallel", 0, "engine workers for independent runs (0 = all cores, 1 = serial)")
+	smoke := flag.Bool("smoke", false, "shrink every dimension for a fast smoke run")
+	benchPath := flag.String("bench", "", "write the engine perf summary (BENCH_runner.json) to this path")
+	outPrefix := flag.String("out", "", "write sweep records to <out>.jsonl and <out>.csv")
 	seed := flag.Int64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write query-lifecycle trace events to this JSONL file")
 	verbose := flag.Bool("vtrace", false, "with -trace, also record per-hop routing and maintenance detail events")
@@ -41,12 +54,23 @@ func main() {
 	if *full {
 		s = experiments.FullScale()
 	}
+	if *smoke {
+		s.CompletenessN = 400
+		s.PacketN = 80
+		s.PacketHorizon = 36 * time.Hour
+		s.FlowsPerDay = 40
+	}
 	s.Seed = *seed
+	s.Workers = *parallel
+	stats := &runner.Stats{}
+	s.RunnerStats = stats
 	w := os.Stdout
+	start := time.Now()
 
 	// One shared observability layer across every run this invocation
-	// performs: metrics accumulate, and the tracer (if any) sees all
-	// query lifecycles.
+	// performs: metrics accumulate (merged deterministically when runs
+	// execute in parallel), and the tracer (if any) sees all query
+	// lifecycles — attaching a tracer forces runs serial.
 	o := obs.New()
 	s.Obs = o
 	var traceSink *obs.JSONLSink
@@ -72,10 +96,44 @@ func main() {
 		if *metrics {
 			o.Registry().WriteSummary(w)
 		}
+		if *benchPath != "" {
+			sum := runner.NewBenchSummary("seaweed-sim", stats, time.Since(start))
+			if err := sum.WriteFile(*benchPath); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: writing %s: %v\n", *benchPath, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "# bench: %d engine runs, %d workers, speedup %.2fx vs serial -> %s\n",
+				sum.Runs, sum.Workers, sum.SpeedupVsSerial, *benchPath)
+		}
+	}
+
+	runSweep := func() {
+		var sinks []runner.Sink
+		if *outPrefix != "" {
+			jf, err := os.Create(*outPrefix + ".jsonl")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer jf.Close()
+			cf, err := os.Create(*outPrefix + ".csv")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer cf.Close()
+			sinks = []runner.Sink{runner.NewJSONLSink(jf), runner.NewCSVSink(cf)}
+		}
+		r := experiments.CompletenessSweep(s, sinks)
+		if err := runner.CloseAll(sinks); err != nil {
+			fmt.Fprintf(os.Stderr, "seaweed-sim: sink: %v\n", err)
+			os.Exit(1)
+		}
+		r.Render(w)
 	}
 
 	runFig := func(name string) {
-		start := time.Now()
+		figStart := time.Now()
 		switch name {
 		case "2":
 			experiments.Fig2(s).Render(w)
@@ -90,7 +148,9 @@ func main() {
 			experiments.Fig9c(s, []int64{11, 22, 33, 44, 55}).Render(w)
 		case "9d":
 			sizes := []int{250, 500, 1000, 2000}
-			if *full {
+			if *smoke {
+				sizes = []int{50, 100}
+			} else if *full {
 				sizes = []int{2000, 4000, 8000, 16000}
 			}
 			experiments.WriteFig9d(w, experiments.Fig9d(s, sizes))
@@ -100,10 +160,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Fprintf(w, "# (figure %s computed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "# (figure %s computed in %v)\n\n", name, time.Since(figStart).Round(time.Millisecond))
 	}
 
 	switch {
+	case *sweep:
+		runSweep()
 	case *ablation != "":
 		switch *ablation {
 		case "arity":

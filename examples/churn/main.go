@@ -29,9 +29,9 @@ func run(label string, trace *seaweed.AvailabilityTrace) {
 	fmt.Printf("mean availability %.2f, departures per online endsystem-second %.2g\n",
 		st.MeanAvailability, st.DeparturesPerOnlineSecond)
 
-	cfg := seaweed.DefaultClusterConfig(trace, 3)
-	cfg.Workload.MeanFlowsPerDay = 100
-	cluster := seaweed.NewCluster(cfg)
+	cluster := seaweed.NewCluster(trace,
+		seaweed.WithSeed(3),
+		seaweed.WithFlowsPerDay(100))
 
 	injectAt := 30 * time.Hour
 	cluster.RunUntil(injectAt)
@@ -51,8 +51,19 @@ func run(label string, trace *seaweed.AvailabilityTrace) {
 			100*h.Predictor.CompletenessBy(12*time.Hour))
 	}
 
+	// Stream the remaining updates and keep the newest one.
+	sub := h.Updates()
 	cluster.RunUntil(horizon)
-	if last, ok := h.Latest(); ok {
+	var last seaweed.ResultUpdate
+	got := false
+	for {
+		u, ok := sub.Next()
+		if !ok {
+			break
+		}
+		last, got = u, true
+	}
+	if got {
 		total := cluster.TrueRelevantRows(q)
 		fmt.Printf("result after %v: %d of %d rows (%.1f%%) from %d endsystems\n",
 			(horizon - injectAt).Round(time.Hour),

@@ -19,11 +19,13 @@ func main() {
 	horizon := 2 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 9)
 
-	cfg := seaweed.DefaultClusterConfig(trace, 9)
-	cfg.Workload.MeanFlowsPerDay = 200
-	cfg.Feed = seaweed.FeedConfig{Enabled: true, Period: 20 * time.Minute}
-	cfg.Node.Meta.DeltaPush = true
-	cluster := seaweed.NewCluster(cfg)
+	cluster := seaweed.NewCluster(trace,
+		seaweed.WithSeed(9),
+		seaweed.WithFlowsPerDay(200),
+		seaweed.WithFeed(20*time.Minute),
+		seaweed.WithConfig(func(cfg *seaweed.ClusterConfig) {
+			cfg.Node.Meta.DeltaPush = true
+		}))
 
 	// Let data accrue for half a day, then stand up a continuous query
 	// counting elephant flows.
@@ -36,11 +38,17 @@ func main() {
 	}
 	handle := cluster.InjectContinuousQuery(injector, q)
 
+	// Track the standing result as it streams in, instead of polling:
+	// the callback fires at the virtual instant each update arrives.
+	var last seaweed.ResultUpdate
+	seen := false
+	handle.OnUpdate(func(u seaweed.ResultUpdate) { last, seen = u, true })
+
 	fmt.Println("standing query: COUNT(*) of flows > 20 kB, re-evaluated as data grows")
 	for _, at := range []time.Duration{13 * time.Hour, 18 * time.Hour, 24 * time.Hour, 36 * time.Hour, 47 * time.Hour} {
 		cluster.RunUntil(at)
 		truth := cluster.TrueRelevantRows(q)
-		if last, ok := handle.Latest(); ok {
+		if seen {
 			fmt.Printf("t=%5v  standing result: %6d   (true total %6d, %d endsystems reporting)\n",
 				at, last.Partial.Count, truth, last.Contributors)
 		}

@@ -18,9 +18,9 @@ func main() {
 	const endsystems = 300
 	horizon := 4 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 7)
-	cfg := seaweed.DefaultClusterConfig(trace, 7)
-	cfg.Workload.MeanFlowsPerDay = 150
-	cluster := seaweed.NewCluster(cfg)
+	cluster := seaweed.NewCluster(trace,
+		seaweed.WithSeed(7),
+		seaweed.WithFlowsPerDay(150))
 
 	// Tuesday, 08:30: the operator arrives to an alert about last night's
 	// traffic and starts digging.
@@ -50,6 +50,10 @@ func main() {
 			return
 		}
 		h := cluster.InjectQuery(injector, q)
+		// Track the incremental answer as it streams in.
+		var last seaweed.ResultUpdate
+		seen := false
+		h.OnUpdate(func(u seaweed.ResultUpdate) { last, seen = u, true })
 		cluster.RunUntil(cluster.Sched.Now() + 30*time.Second)
 		if h.Predictor == nil {
 			fmt.Println("   (no predictor)")
@@ -69,7 +73,7 @@ func main() {
 		}
 		cluster.RunUntil(cluster.Sched.Now() + budget)
 
-		if last, ok := h.Latest(); ok {
+		if seen {
 			fmt.Printf("   answer after %v: %s = %.1f  (from %d endsystems, %d rows)\n",
 				budget.Round(time.Minute), spec.kind, last.Partial.Final(spec.kind),
 				last.Contributors, last.Partial.Count)

@@ -19,9 +19,9 @@ func main() {
 	horizon := 3 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 42)
 
-	cfg := seaweed.DefaultClusterConfig(trace, 42)
-	cfg.Workload.MeanFlowsPerDay = 100 // light synthetic Anemone workload
-	cluster := seaweed.NewCluster(cfg)
+	cluster := seaweed.NewCluster(trace,
+		seaweed.WithSeed(42),
+		seaweed.WithFlowsPerDay(100)) // light synthetic Anemone workload
 
 	// Let a day of protocol activity pass: metadata replication, leafset
 	// maintenance, availability-model learning.
@@ -55,11 +55,22 @@ func main() {
 		fmt.Printf("  99%% completeness expected within %v\n", d)
 	}
 
-	// Watch the incremental result converge over the morning.
+	// Watch the incremental result converge over the morning, pulling the
+	// update stream in virtual-time order through a subscription.
 	total := float64(cluster.TrueRelevantRows(query))
+	sub := handle.Updates()
 	for _, wait := range []time.Duration{10 * time.Minute, 4 * time.Hour, 12 * time.Hour} {
 		cluster.RunUntil(handle.Injected + wait)
-		if last, ok := handle.Latest(); ok {
+		var last seaweed.ResultUpdate
+		got := false
+		for {
+			u, ok := sub.Next()
+			if !ok {
+				break
+			}
+			last, got = u, true
+		}
+		if got {
 			fmt.Printf("after %8v: SUM(Bytes) = %.0f from %d endsystems (completeness %.1f%%)\n",
 				wait, last.Partial.Final(seaweed.Sum), last.Contributors,
 				100*float64(last.Partial.Count)/total)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pastry"
 	"repro/internal/predictor"
 	"repro/internal/relq"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 )
 
@@ -122,7 +123,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			ds = anemone.Generate(cfg.Workload, i)
 		}
 		nodeCfg := cfg.Node
-		nodeCfg.Seed = cfg.Seed ^ int64(i)<<1
+		// SplitSeed, not an xor mix: sweeps run clusters at sequential
+		// seeds, and cfg.Seed ^ i<<1 made (seed 0, node 1) and (seed 2,
+		// node 0) share RNG state across runs.
+		nodeCfg.Seed = runner.SplitSeed(cfg.Seed, int64(i))
 		c.Nodes[i] = NewNode(ring, simnet.Endpoint(i), idList[i], ds.Tables(),
 			&avail.Model{}, nodeCfg)
 		if cfg.Feed.Enabled {
@@ -159,15 +163,19 @@ func (c *Cluster) RunUntil(t time.Duration) { c.Sched.RunUntil(t) }
 // Obs returns the cluster's observability layer (nil when disabled).
 func (c *Cluster) Obs() *obs.Obs { return c.Net.Obs() }
 
-// QueryHandle tracks one injected query's outputs.
+// QueryHandle tracks one injected query's outputs. Results is the
+// virtual-time-ordered update log; stream consumers use Updates() or
+// OnUpdate (see stream.go) instead of polling it.
 type QueryHandle struct {
 	QueryID     ids.ID
 	Injected    time.Duration
 	Predictor   *predictor.Predictor
 	PredictorAt time.Duration
 	// Results holds every incremental result update observed at the
-	// injector.
+	// injector, in virtual-time order.
 	Results []ResultUpdate
+
+	callbacks []*updateCallback
 }
 
 // ResultUpdate is one incremental result observation.
@@ -177,7 +185,9 @@ type ResultUpdate struct {
 	Contributors int64
 }
 
-// Latest returns the most recent result update, if any.
+// Latest returns the most recent result update, if any. It is the
+// polling-compatibility wrapper over the update log; new code should
+// consume the stream through Updates or OnUpdate.
 func (h *QueryHandle) Latest() (ResultUpdate, bool) {
 	if len(h.Results) == 0 {
 		return ResultUpdate{}, false
@@ -209,7 +219,7 @@ func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle 
 		},
 		func(part agg.Partial, contributors int64) {
 			now := c.Sched.Now()
-			h.Results = append(h.Results, ResultUpdate{
+			h.deliver(ResultUpdate{
 				At: now, Partial: part, Contributors: contributors,
 			})
 			if len(h.Results) == 1 {

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/anemone"
@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/relq"
+	"repro/internal/runner"
 )
 
 // CompletenessConfig parameterizes the availability-level simulator used
@@ -33,8 +34,9 @@ type CompletenessConfig struct {
 	// MinUpTime is the continuous uptime an endsystem needs to receive
 	// and process a query (the H_U "sufficient time" of §2.3).
 	MinUpTime time.Duration
-	// Parallelism bounds the worker goroutines generating per-endsystem
-	// data (0 = GOMAXPROCS). Results are deterministic regardless.
+	// Parallelism bounds the worker goroutines of the deterministic
+	// runner executing the experiment (0 = GOMAXPROCS). Results are
+	// byte-identical regardless.
 	Parallelism int
 	// SampleDelays are the observation delays for the output curves; nil
 	// selects a default log-spaced set from 0 to Lifetime.
@@ -44,9 +46,33 @@ type CompletenessConfig struct {
 	Mode avail.PredictionMode
 	// Obs is the observability layer; nil disables it for this simulator
 	// (the experiment harness supplies a shared one). Events are emitted
-	// only from the single-threaded assembly step — the parallel
-	// per-endsystem workers never touch it.
+	// only from the single-threaded observation step that runs after the
+	// parallel phases — the parallel workers never touch it.
 	Obs *obs.Obs
+	// RunnerStats, when non-nil, accumulates the parallel engine's
+	// timing for perf summaries (BENCH_runner.json).
+	RunnerStats *runner.Stats
+}
+
+// CompletenessStudyConfig parameterizes a completeness study: several
+// queries and several injection times evaluated over one shared trace and
+// workload. The per-endsystem datasets — the expensive part — are
+// generated once and shared by every (query, injection) cell, and all
+// cells execute through the deterministic parallel runner.
+type CompletenessStudyConfig struct {
+	Trace     *avail.Trace
+	Workload  anemone.Config
+	Queries   []*relq.Query
+	InjectAts []time.Duration
+	// Lifetime, MinUpTime, Parallelism, SampleDelays, Mode, Obs and
+	// RunnerStats are as in CompletenessConfig.
+	Lifetime     time.Duration
+	MinUpTime    time.Duration
+	Parallelism  int
+	SampleDelays []time.Duration
+	Mode         avail.PredictionMode
+	Obs          *obs.Obs
+	RunnerStats  *runner.Stats
 }
 
 // CompletenessResult is the outcome of one completeness experiment.
@@ -109,10 +135,9 @@ func (r *CompletenessResult) TotalRowCountError() float64 {
 		float64(r.TotalRelevantRows)
 }
 
-// endsystemOutcome is the per-endsystem intermediate of the simulation.
+// endsystemOutcome is the per-endsystem availability-dependent
+// intermediate of the simulation; it does not depend on the query.
 type endsystemOutcome struct {
-	rows     int64   // exact matching rows
-	estimate float64 // histogram-based estimate
 	// availability at injection, or the first instant after injection at
 	// which the endsystem has been up MinUpTime (availAtValid false if
 	// never within the lifetime).
@@ -125,18 +150,61 @@ type endsystemOutcome struct {
 	everUp    bool
 }
 
+// rowEst is the per-(endsystem, query) data-dependent intermediate: the
+// exact matching row count and the histogram-based estimate.
+type rowEst struct {
+	rows int64
+	est  float64
+}
+
 // RunCompleteness executes the experiment.
 func RunCompleteness(cfg CompletenessConfig) *CompletenessResult {
 	return RunCompletenessSeries(cfg, []time.Duration{cfg.InjectAt})[0]
 }
 
 // RunCompletenessSeries runs the experiment for several injection times
-// over the same trace and workload. Each endsystem's dataset (exact counts
-// and histogram estimates) is computed once and shared across injections —
-// the per-endsystem data does not depend on when the query is injected, so
-// the paper's Figure 5(b)/(c) sweeps over days and times of day reuse it.
+// over the same trace and workload (cfg.InjectAt is ignored). It is a
+// single-query completeness study; see RunCompletenessStudy.
 func RunCompletenessSeries(cfg CompletenessConfig, injectAts []time.Duration) []*CompletenessResult {
+	return RunCompletenessStudy(CompletenessStudyConfig{
+		Trace:        cfg.Trace,
+		Workload:     cfg.Workload,
+		Queries:      []*relq.Query{cfg.Query},
+		InjectAts:    injectAts,
+		Lifetime:     cfg.Lifetime,
+		MinUpTime:    cfg.MinUpTime,
+		Parallelism:  cfg.Parallelism,
+		SampleDelays: cfg.SampleDelays,
+		Mode:         cfg.Mode,
+		Obs:          cfg.Obs,
+		RunnerStats:  cfg.RunnerStats,
+	})[0]
+}
+
+// RunCompletenessStudy evaluates every (query, injection) pair of the
+// study and returns the results indexed [query][injection].
+//
+// Execution is phased through the deterministic parallel runner, and the
+// results are byte-identical at any Parallelism:
+//
+//  1. per-endsystem datasets are generated once (shared across queries
+//     AND injections — the data does not depend on when a query is
+//     injected, so the paper's Figure 5(b)/(c) day/time sweeps reuse it),
+//     with exact counts and histogram estimates for every query;
+//  2. per-injection availability outcomes are computed once (shared
+//     across queries — availability does not depend on what is asked);
+//  3. every (query, injection) cell is assembled from the two;
+//  4. observability events are emitted serially, in cell order, after
+//     the parallel phases (the shared Obs layer is single-threaded).
+//
+// A panic inside a phase surfaces as a panic here (library semantics),
+// not as a silently missing cell.
+func RunCompletenessStudy(cfg CompletenessStudyConfig) [][]*CompletenessResult {
 	n := cfg.Trace.NumEndsystems()
+	nq, ni := len(cfg.Queries), len(cfg.InjectAts)
+	if nq == 0 || ni == 0 {
+		return nil
+	}
 	if cfg.MinUpTime <= 0 {
 		cfg.MinUpTime = 30 * time.Second
 	}
@@ -148,78 +216,104 @@ func RunCompletenessSeries(cfg CompletenessConfig, injectAts []time.Duration) []
 	// NOW() binds against the first injection's clock; the four evaluation
 	// queries carry no NOW(), so this only matters for explicitly
 	// time-windowed queries, which should be run one injection at a time.
-	rowsEst := make([]struct {
-		rows int64
-		est  float64
-	}, n)
-	nowSecs0 := int64(injectAts[0] / time.Second)
-	bound := cfg.Query.BindNow(nowSecs0)
-	parallelFor(n, workers, func(i int) {
+	nowSecs0 := int64(cfg.InjectAts[0] / time.Second)
+	bound := make([]*relq.Query, nq)
+	for q, query := range cfg.Queries {
+		bound[q] = query.BindNow(nowSecs0)
+	}
+
+	// Phase 1: datasets, exact counts and estimates, once per endsystem.
+	rowsEst := make([][]rowEst, nq)
+	for q := range rowsEst {
+		rowsEst[q] = make([]rowEst, n)
+	}
+	runner.ForEach(n, workers, func(i int) {
 		ds := anemone.Generate(cfg.Workload, i)
-		tbl := ds.Flow
-		if bound.Table == "Packet" && ds.Packet != nil {
-			tbl = ds.Packet
+		sum := ds.Summary()
+		for q, bq := range bound {
+			tbl := ds.Flow
+			if bq.Table == "Packet" && ds.Packet != nil {
+				tbl = ds.Packet
+			}
+			if cnt, err := tbl.CountMatching(bq, nowSecs0); err == nil {
+				rowsEst[q][i].rows = cnt
+			}
+			rowsEst[q][i].est = sum.EstimateRows(bq, nowSecs0)
 		}
-		if cnt, err := tbl.CountMatching(bound, nowSecs0); err == nil {
-			rowsEst[i].rows = cnt
-		}
-		rowsEst[i].est = ds.Summary().EstimateRows(bound, nowSecs0)
 	})
 
-	results := make([]*CompletenessResult, len(injectAts))
-	for j, injectAt := range injectAts {
-		c := cfg
-		c.InjectAt = injectAt
-		outcomes := make([]endsystemOutcome, n)
-		parallelFor(n, workers, func(i int) {
-			outcomes[i] = evalAvailability(c, i)
-			outcomes[i].rows = rowsEst[i].rows
-			outcomes[i].estimate = rowsEst[i].est
-		})
-		results[j] = assemble(c, outcomes)
+	// Phase 2: availability outcomes per injection, through the engine —
+	// each run owns its outcome slice; inner per-endsystem loops use the
+	// leftover worker budget so a single-injection study still fans out.
+	inner := workers / ni
+	if inner < 1 {
+		inner = 1
+	}
+	specs := make([]runner.Spec, ni)
+	for j := range specs {
+		j := j
+		specs[j] = runner.Spec{
+			Name: "inject/" + cfg.InjectAts[j].String(),
+			Run: func(runner.RunContext) (any, error) {
+				out := make([]endsystemOutcome, n)
+				runner.ForEach(n, inner, func(i int) {
+					out[i] = evalAvailability(cfg.Trace, cfg.InjectAts[j],
+						cfg.Lifetime, cfg.MinUpTime, i)
+				})
+				return out, nil
+			},
+		}
+	}
+	rep, err := runner.Execute(context.Background(),
+		runner.Config{Workers: workers, Obs: cfg.Obs, Stats: cfg.RunnerStats}, specs)
+	if err != nil {
+		panic(err)
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		panic(ferr)
+	}
+	outcomes := make([][]endsystemOutcome, ni)
+	for j := range outcomes {
+		outcomes[j] = rep.Results[j].Value.([]endsystemOutcome)
+	}
+
+	// Phase 3: assemble every (query, injection) cell.
+	results := make([][]*CompletenessResult, nq)
+	for q := range results {
+		results[q] = make([]*CompletenessResult, ni)
+	}
+	runner.ForEach(nq*ni, workers, func(cell int) {
+		q, j := cell/ni, cell%ni
+		results[q][j] = assemble(cfg, cfg.InjectAts[j], outcomes[j], rowsEst[q])
+	})
+
+	// Phase 4: observe serially, in cell order, on the shared layer.
+	if cfg.Obs != nil {
+		for q := range results {
+			for j := range results[q] {
+				observeCompleteness(cfg, cfg.Queries[q], cfg.InjectAts[j], results[q][j])
+			}
+		}
 	}
 	return results
-}
-
-// parallelFor runs fn(i) for i in [0, n) across the given worker count.
-func parallelFor(n, workers int, fn func(i int)) {
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // evalAvailability computes one endsystem's availability-dependent
 // outcome: its learned model, its state at injection, and when its rows
 // join the result.
-func evalAvailability(cfg CompletenessConfig, i int) endsystemOutcome {
+func evalAvailability(trace *avail.Trace, injectAt, lifetime, minUpTime time.Duration, i int) endsystemOutcome {
 	out := endsystemOutcome{}
-	p := cfg.Trace.Profiles[i]
+	p := trace.Profiles[i]
 
-	out.model = avail.LearnModel(p, cfg.InjectAt)
+	out.model = avail.LearnModel(p, injectAt)
 	// Availability state at injection.
-	out.upAtInject = p.AvailableAt(cfg.InjectAt)
+	out.upAtInject = p.AvailableAt(injectAt)
 	for _, iv := range p.Up {
-		if iv.End <= cfg.InjectAt {
+		if iv.End <= injectAt {
 			out.everUp = true
 			out.downSince = iv.End
 		}
-		if iv.Start <= cfg.InjectAt {
+		if iv.Start <= injectAt {
 			continue
 		}
 		break
@@ -229,42 +323,44 @@ func evalAvailability(cfg CompletenessConfig, i int) endsystemOutcome {
 	}
 
 	// When do this endsystem's rows actually join the result?
-	deadline := cfg.InjectAt + cfg.Lifetime
+	deadline := injectAt + lifetime
 	if out.upAtInject {
-		out.availAt, out.availAtValid = cfg.InjectAt, true
+		out.availAt, out.availAtValid = injectAt, true
 		return out
 	}
 	for _, iv := range p.Up {
 		start := iv.Start
-		if start < cfg.InjectAt {
+		if start < injectAt {
 			continue
 		}
-		if start+cfg.MinUpTime <= iv.End && start+cfg.MinUpTime <= deadline {
-			out.availAt, out.availAtValid = start+cfg.MinUpTime, true
+		if start+minUpTime <= iv.End && start+minUpTime <= deadline {
+			out.availAt, out.availAtValid = start+minUpTime, true
 			return out
 		}
 	}
 	return out
 }
 
-// assemble aggregates the per-endsystem outcomes into the experiment
-// result.
-func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *CompletenessResult {
+// assemble aggregates the per-endsystem outcomes and per-endsystem row
+// data into one (query, injection) experiment result.
+func assemble(cfg CompletenessStudyConfig, injectAt time.Duration,
+	outcomes []endsystemOutcome, rowsEst []rowEst) *CompletenessResult {
 	res := &CompletenessResult{Predicted: &predictor.Predictor{}}
 
 	for i := range outcomes {
 		o := &outcomes[i]
-		res.TotalRelevantRows += o.rows
+		re := &rowsEst[i]
+		res.TotalRelevantRows += re.rows
 		if o.availAtValid {
-			res.RowsWithinLifetime += o.rows
+			res.RowsWithinLifetime += re.rows
 		}
 		switch {
 		case o.upAtInject:
-			res.Predicted.AddImmediate(o.estimate)
+			res.Predicted.AddImmediate(re.est)
 		case o.everUp:
 			// Unavailable but previously seen: its replicated metadata
 			// provides the estimate and the availability model.
-			res.Predicted.AddModelMode(cfg.Mode, o.model, cfg.InjectAt, o.downSince, o.estimate)
+			res.Predicted.AddModelMode(cfg.Mode, o.model, injectAt, o.downSince, re.est)
 		default:
 			// Never available before injection: no metadata exists
 			// anywhere, so the predictor cannot account for it (the
@@ -280,8 +376,8 @@ func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *Completeness
 	var arr []arrival
 	for i := range outcomes {
 		o := &outcomes[i]
-		if o.availAtValid && o.rows > 0 {
-			arr = append(arr, arrival{delay: o.availAt - cfg.InjectAt, rows: float64(o.rows)})
+		if o.availAtValid && rowsEst[i].rows > 0 {
+			arr = append(arr, arrival{delay: o.availAt - injectAt, rows: float64(rowsEst[i].rows)})
 		}
 	}
 	sort.Slice(arr, func(i, j int) bool { return arr[i].delay < arr[j].delay })
@@ -303,7 +399,6 @@ func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *Completeness
 		res.PredictedRows[j] = res.Predicted.RowsBy(d)
 		res.ActualRows[j] = res.ActualRowsAt(d)
 	}
-	observeCompleteness(cfg, res)
 	return res
 }
 
@@ -311,22 +406,24 @@ func assemble(cfg CompletenessConfig, outcomes []endsystemOutcome) *Completeness
 // layer. This simulator has no scheduler, so events carry explicit
 // virtual timestamps (EmitAt) reconstructed from the arrival step
 // function, and EP is -1 (no endsystem-level attribution exists at this
-// abstraction level).
-func observeCompleteness(cfg CompletenessConfig, res *CompletenessResult) {
+// abstraction level). It runs only on the single-threaded observation
+// pass, after the parallel phases.
+func observeCompleteness(cfg CompletenessStudyConfig, query *relq.Query,
+	injectAt time.Duration, res *CompletenessResult) {
 	o := cfg.Obs
 	if o == nil {
 		return
 	}
-	qid := dissem.QueryID(cfg.Query, cfg.InjectAt).Short()
+	qid := dissem.QueryID(query, injectAt).Short()
 	total := res.Predicted.ExpectedTotal()
 
-	o.EmitAt(cfg.InjectAt, obs.Event{Kind: obs.KindInject, Query: qid, EP: -1})
-	o.EmitAt(cfg.InjectAt, obs.Event{Kind: obs.KindPredict, Query: qid, EP: -1, V: total})
+	o.EmitAt(injectAt, obs.Event{Kind: obs.KindInject, Query: qid, EP: -1})
+	o.EmitAt(injectAt, obs.Event{Kind: obs.KindPredict, Query: qid, EP: -1, V: total})
 	for i, d := range res.arrivalDelays {
-		o.EmitAt(cfg.InjectAt+d, obs.Event{Kind: obs.KindPartial, Query: qid,
+		o.EmitAt(injectAt+d, obs.Event{Kind: obs.KindPartial, Query: qid,
 			EP: -1, N: int64(i + 1), V: res.arrivalCum[i]})
 	}
-	o.EmitAt(cfg.InjectAt+cfg.Lifetime, obs.Event{Kind: obs.KindComplete, Query: qid,
+	o.EmitAt(injectAt+cfg.Lifetime, obs.Event{Kind: obs.KindComplete, Query: qid,
 		EP: -1, N: int64(len(res.arrivalDelays))})
 
 	if len(res.arrivalDelays) > 0 {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/pastry"
 	"repro/internal/predictor"
 	"repro/internal/relq"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 )
 
@@ -99,7 +100,9 @@ func NewNode(ring *pastry.Ring, ep simnet.Endpoint, id ids.ID,
 	}
 	n.summary = relq.NewSummary(tables...)
 	n.pn = ring.AddNode(ep, id, n)
-	n.meta = metadata.NewService(n.pn, cfg.Meta, cfg.Seed^int64(ep))
+	// A second split keeps the metadata stream independent of the node's
+	// other RNG consumers (cfg.Seed is already SplitSeed-derived per node).
+	n.meta = metadata.NewService(n.pn, cfg.Meta, runner.SplitSeed(cfg.Seed, int64(ep)))
 	n.meta.SetLocalMetadata(n.summary, n.model)
 	n.dis = dissem.NewEngine(n, cfg.Dissem)
 	n.tree = aggtree.NewEngine(n, cfg.Agg)

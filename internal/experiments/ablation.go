@@ -27,28 +27,36 @@ type ArityAblationResult struct {
 
 // AblationDissemArity injects the Figure 9 query under different
 // subdivision arities and measures per-endsystem query bytes and predictor
-// latency.
+// latency. Each arity is an independent simulation run on the engine.
 func AblationDissemArity(s Scale, arities []int) *ArityAblationResult {
 	r := &ArityAblationResult{Arities: arities}
-	for _, arity := range arities {
-		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
-		cfg := core.DefaultClusterConfig(trace, s.Seed)
-		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
-		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
-		cfg.Node.Dissem.Arity = arity
+	type point struct {
+		bytes float64
+		lat   time.Duration
+	}
+	runs := runSeries(s, "arity", len(arities), func(i int, sc Scale) any {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(sc.PacketN, sc.PacketHorizon, sc.Seed))
+		cfg := core.DefaultClusterConfig(trace, sc.Seed)
+		cfg.Obs, cfg.NoObs = sc.Obs, sc.NoObs
+		cfg.Workload.MeanFlowsPerDay = sc.FlowsPerDay
+		cfg.Node.Dissem.Arity = arities[i]
 		c := core.NewCluster(cfg)
-		injectAt := s.PacketHorizon / 2
+		injectAt := sc.PacketHorizon / 2
 		c.RunUntil(injectAt)
 		before := c.Net.Stats().TotalTx(simnet.ClassQuery)
 		h := c.InjectQuery(firstLive(c), relq.MustParse(Fig9Query))
 		c.RunUntil(injectAt + 10*time.Minute)
 		after := c.Net.Stats().TotalTx(simnet.ClassQuery)
-		r.QueryBytes = append(r.QueryBytes, (after-before)/float64(s.PacketN))
-		lat := time.Duration(0)
+		pt := point{bytes: (after - before) / float64(sc.PacketN)}
 		if h.Predictor != nil {
-			lat = h.PredictorAt - h.Injected
+			pt.lat = h.PredictorAt - h.Injected
 		}
-		r.PredictorLatency = append(r.PredictorLatency, lat)
+		return pt
+	})
+	for _, v := range runs {
+		pt := v.(point)
+		r.QueryBytes = append(r.QueryBytes, pt.bytes)
+		r.PredictorLatency = append(r.PredictorLatency, pt.lat)
 	}
 	return r
 }
@@ -92,9 +100,12 @@ func AblationPredictorMode(s Scale) *PredictorModeResult {
 		{"always-duration", avail.ModeDuration},
 	}
 	out := &PredictorModeResult{}
-	for _, m := range modes {
+	type errs struct{ maxE, avgE float64 }
+	runs := runSeries(s, "predmode", len(modes), func(i int, sc Scale) any {
 		cfg := base
-		cfg.Mode = m.mode
+		cfg.Mode = modes[i].mode
+		cfg.Obs = sc.Obs
+		cfg.RunnerStats = sc.RunnerStats
 		res := core.RunCompleteness(cfg)
 		maxE, sumE, n := 0.0, 0.0, 0.0
 		for _, d := range ErrorCheckpoints {
@@ -105,9 +116,13 @@ func AblationPredictorMode(s Scale) *PredictorModeResult {
 			sumE += e
 			n++
 		}
-		out.Modes = append(out.Modes, m.name)
-		out.MaxErr = append(out.MaxErr, maxE)
-		out.AvgErr = append(out.AvgErr, sumE/n)
+		return errs{maxE: maxE, avgE: sumE / n}
+	})
+	for i, v := range runs {
+		e := v.(errs)
+		out.Modes = append(out.Modes, modes[i].name)
+		out.MaxErr = append(out.MaxErr, e.maxE)
+		out.AvgErr = append(out.AvgErr, e.avgE)
 	}
 	return out
 }
@@ -232,18 +247,22 @@ func AblationPushPeriod(s Scale, periods []time.Duration) *PushPeriodResult {
 		p := base
 		p.P = 1 / period.Seconds()
 		out.ModelBytesPS = append(out.ModelBytesPS, model.MaintenanceOverhead(model.Seaweed, p))
-
-		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
-		cfg := core.DefaultClusterConfig(trace, s.Seed)
-		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
-		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
-		cfg.Node.Meta.PushPeriod = period
+	}
+	runs := runSeries(s, "pushperiod", len(periods), func(i int, sc Scale) any {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(sc.PacketN, sc.PacketHorizon, sc.Seed))
+		cfg := core.DefaultClusterConfig(trace, sc.Seed)
+		cfg.Obs, cfg.NoObs = sc.Obs, sc.NoObs
+		cfg.Workload.MeanFlowsPerDay = sc.FlowsPerDay
+		cfg.Node.Meta.PushPeriod = periods[i]
 		c := core.NewCluster(cfg)
-		c.RunUntil(s.PacketHorizon)
+		c.RunUntil(sc.PacketHorizon)
 		st := c.Net.Stats()
 		stats := trace.ComputeStats()
-		onlineSeconds := stats.MeanAvailability * float64(s.PacketN) * s.PacketHorizon.Seconds()
-		out.SimMeanBPS = append(out.SimMeanBPS, st.TotalTx(simnet.ClassMaintenance)/onlineSeconds)
+		onlineSeconds := stats.MeanAvailability * float64(sc.PacketN) * sc.PacketHorizon.Seconds()
+		return st.TotalTx(simnet.ClassMaintenance) / onlineSeconds
+	})
+	for _, v := range runs {
+		out.SimMeanBPS = append(out.SimMeanBPS, v.(float64))
 	}
 	return out
 }
@@ -270,19 +289,28 @@ type VertexReplicaResult struct {
 // recorded.
 func AblationVertexReplicas(s Scale, backups []int) *VertexReplicaResult {
 	out := &VertexReplicaResult{Backups: backups}
-	for _, m := range backups {
-		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
-		cfg := core.DefaultClusterConfig(trace, s.Seed)
-		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
-		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
-		cfg.Node.Agg.Backups = m
+	type point struct {
+		coverage float64
+		bytes    float64
+	}
+	runs := runSeries(s, "replicas", len(backups), func(i int, sc Scale) any {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(sc.PacketN, sc.PacketHorizon, sc.Seed))
+		cfg := core.DefaultClusterConfig(trace, sc.Seed)
+		cfg.Obs, cfg.NoObs = sc.Obs, sc.NoObs
+		cfg.Workload.MeanFlowsPerDay = sc.FlowsPerDay
+		cfg.Node.Agg.Backups = backups[i]
 		c := core.NewCluster(cfg)
-		injectAt := s.PacketHorizon / 2
+		injectAt := sc.PacketHorizon / 2
 		c.RunUntil(injectAt)
 		q := relq.MustParse("SELECT COUNT(*) FROM Flow")
 		h := c.InjectQuery(firstLive(c), q)
+		// Track the stream as it arrives instead of polling the handle:
+		// `last` always holds the newest update once `seen` is true.
+		var last core.ResultUpdate
+		seen := false
+		h.OnUpdate(func(u core.ResultUpdate) { last, seen = u, true })
 		c.RunUntil(injectAt + 15*time.Minute)
-		before, _ := h.Latest()
+		before, hadBefore := last, seen
 
 		// Kill a quarter of the live endsystems (sparing the injector).
 		killed := 0
@@ -290,20 +318,23 @@ func AblationVertexReplicas(s Scale, backups []int) *VertexReplicaResult {
 			if simnet.Endpoint(i) == firstLive(c) {
 				continue
 			}
-			if n.Alive() && killed < s.PacketN/4 {
+			if n.Alive() && killed < sc.PacketN/4 {
 				n.GoDown()
 				killed++
 			}
 		}
 		c.RunUntil(c.Sched.Now() + 30*time.Minute)
-		after, ok := h.Latest()
 		cov := 0.0
-		if ok && before.Partial.Count > 0 {
-			cov = float64(after.Partial.Count) / float64(before.Partial.Count)
+		if hadBefore && seen && before.Partial.Count > 0 {
+			cov = float64(last.Partial.Count) / float64(before.Partial.Count)
 		}
-		out.ResultCoverage = append(out.ResultCoverage, cov)
 		st := c.Net.Stats()
-		out.QueryBytes = append(out.QueryBytes, st.TotalTx(simnet.ClassQuery)/float64(s.PacketN))
+		return point{coverage: cov, bytes: st.TotalTx(simnet.ClassQuery) / float64(sc.PacketN)}
+	})
+	for _, v := range runs {
+		pt := v.(point)
+		out.ResultCoverage = append(out.ResultCoverage, pt.coverage)
+		out.QueryBytes = append(out.QueryBytes, pt.bytes)
 	}
 	return out
 }
@@ -336,18 +367,18 @@ func (r *DeltaPushResult) Saving() float64 {
 // with live data updates run twice, with full and with delta-encoded
 // summary pushes.
 func AblationDeltaPush(s Scale) *DeltaPushResult {
-	run := func(delta bool) float64 {
-		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
-		cfg := core.DefaultClusterConfig(trace, s.Seed)
-		cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
-		cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
+	runs := runSeries(s, "deltapush", 2, func(i int, sc Scale) any {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(sc.PacketN, sc.PacketHorizon, sc.Seed))
+		cfg := core.DefaultClusterConfig(trace, sc.Seed)
+		cfg.Obs, cfg.NoObs = sc.Obs, sc.NoObs
+		cfg.Workload.MeanFlowsPerDay = sc.FlowsPerDay
 		cfg.Feed = core.FeedConfig{Enabled: true, Period: 30 * time.Minute}
-		cfg.Node.Meta.DeltaPush = delta
+		cfg.Node.Meta.DeltaPush = i == 1
 		c := core.NewCluster(cfg)
-		c.RunUntil(s.PacketHorizon)
+		c.RunUntil(sc.PacketHorizon)
 		return c.Net.Stats().TotalTx(simnet.ClassMaintenance)
-	}
-	return &DeltaPushResult{FullBytes: run(false), DeltaBytes: run(true)}
+	})
+	return &DeltaPushResult{FullBytes: runs[0].(float64), DeltaBytes: runs[1].(float64)}
 }
 
 // Render writes the comparison.

@@ -5,10 +5,7 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/anemone"
 	"repro/internal/avail"
-	"repro/internal/core"
-	"repro/internal/relq"
 )
 
 // PaperQueries are the four evaluation queries of Figures 5–8.
@@ -81,63 +78,13 @@ var ErrorCheckpoints = []time.Duration{
 }
 
 // RunCompletenessFigure reproduces one of Figures 5–8 for the query at
-// index qi of PaperQueries.
+// index qi of PaperQueries. Its seven injections (panel (a) Tuesday
+// midnight; panel (b) Tue–Fri at 00:00; panel (c) Tuesday at 00:00,
+// 06:00, 12:00 and 18:00) run as one study through the deterministic
+// parallel engine; CompletenessSweep produces all four figures from one
+// shared study instead.
 func RunCompletenessFigure(s Scale, qi int) *CompletenessFigure {
-	spec := PaperQueries[qi]
-	trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.CompletenessN, s.Horizon, s.Seed))
-	w := anemone.DefaultConfig(s.Horizon, s.Seed)
-	w.MeanFlowsPerDay = s.FlowsPerDay
-	cfg := core.CompletenessConfig{
-		Trace:    trace,
-		Workload: w,
-		Query:    relq.MustParse(spec.SQL),
-		Lifetime: 48 * time.Hour,
-		Obs:      s.Obs,
-	}
-
-	out := &CompletenessFigure{Figure: spec.Figure, SQL: spec.SQL, Checkpoints: ErrorCheckpoints}
-
-	// Injection instants: panel (a) uses Tuesday midnight; panel (b) the
-	// four consecutive weekdays Tue–Fri at midnight; panel (c) Tuesday at
-	// 00:00, 06:00, 12:00, 18:00.
-	base := s.InjectAt() // Tuesday 00:00 of the final week
-	var injections []time.Duration
-	injections = append(injections, base)
-	dayNames := []string{"Tue", "Wed", "Thu", "Fri"}
-	for d := 1; d < 4; d++ {
-		injections = append(injections, base+time.Duration(d)*avail.Day)
-	}
-	timeNames := []string{"00:00", "06:00", "12:00", "18:00"}
-	for h := 1; h < 4; h++ {
-		injections = append(injections, base+time.Duration(6*h)*time.Hour)
-	}
-
-	results := core.RunCompletenessSeries(cfg, injections)
-
-	a := results[0]
-	out.Delays = a.Delays
-	out.PredictedRows = a.PredictedRows
-	out.ActualRows = a.ActualRows
-	out.TotalRowErr = a.TotalRowCountError()
-
-	errorsAt := func(r *core.CompletenessResult) []float64 {
-		var es []float64
-		for _, d := range ErrorCheckpoints {
-			es = append(es, r.PredictionErrorAt(d))
-		}
-		return es
-	}
-	out.DayLabels = dayNames
-	out.DayErrors = append(out.DayErrors, errorsAt(results[0]))
-	for d := 1; d < 4; d++ {
-		out.DayErrors = append(out.DayErrors, errorsAt(results[d]))
-	}
-	out.TimeLabels = timeNames
-	out.TimeErrors = append(out.TimeErrors, errorsAt(results[0]))
-	for h := 1; h < 4; h++ {
-		out.TimeErrors = append(out.TimeErrors, errorsAt(results[3+h]))
-	}
-	return out
+	return completenessFigures(s, []int{qi}, nil)[0]
 }
 
 // WriteTo renders the figure's panels.

@@ -10,12 +10,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/avail"
 	"repro/internal/obs"
+	"repro/internal/runner"
 )
 
 // Scale sets the size of the simulated deployments.
@@ -42,6 +45,76 @@ type Scale struct {
 	Obs *obs.Obs
 	// NoObs disables observability in every run (benchmark baseline).
 	NoObs bool
+	// Workers bounds the deterministic parallel engine fanning an
+	// experiment's independent simulation runs across cores (0 =
+	// GOMAXPROCS, 1 = serial). Results are identical at any value; an
+	// attached tracer forces serial so the event stream stays whole.
+	Workers int
+	// RunnerStats, when non-nil, accumulates engine timing across every
+	// experiment run through it (for the BENCH_runner.json summary).
+	RunnerStats *runner.Stats
+}
+
+// runSeries executes n independent runs of an experiment through the
+// deterministic engine and returns their values in run order. Each run
+// receives a Scale to build its simulation from; when several runs
+// proceed concurrently and a shared s.Obs exists, each run gets a
+// private metrics layer instead (the shared registry is single-threaded)
+// and the private registries are merged into s.Obs in run order, which
+// keeps the final metrics deterministic. A tracer on s.Obs forces the
+// series serial: trace events cannot be merged after the fact.
+//
+// Experiments are library calls with serial crash semantics, so a failed
+// run re-panics here rather than returning a partial series.
+func runSeries(s Scale, name string, n int, run func(i int, sc Scale) any) []any {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if s.Obs.Tracing() {
+		workers = 1
+	}
+	serialShared := s.Obs != nil && (workers == 1 || n == 1)
+	perRun := make([]*obs.Obs, n)
+	specs := make([]runner.Spec, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sc := s
+		if serialShared {
+			// One run at a time on the shared layer: event order and
+			// metrics match a plain loop exactly.
+		} else if s.Obs != nil {
+			perRun[i] = obs.New()
+			sc.Obs = perRun[i]
+		}
+		specs[i] = runner.Spec{
+			Name: fmt.Sprintf("%s/%d", name, i),
+			Run:  func(runner.RunContext) (any, error) { return run(i, sc), nil },
+		}
+	}
+	cfg := runner.Config{Workers: workers, Seed: s.Seed, Stats: s.RunnerStats}
+	if !serialShared {
+		// The collector's progress counters may not share a registry with
+		// the runs; with a shared serial registry they stay off it too.
+		cfg.Obs = nil
+	}
+	rep, err := runner.Execute(context.Background(), cfg, specs)
+	if err != nil {
+		panic(err)
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		panic(ferr)
+	}
+	if !serialShared && s.Obs != nil {
+		for _, po := range perRun {
+			s.Obs.Registry().Merge(po.Registry())
+		}
+	}
+	out := make([]any, n)
+	for i := range rep.Results {
+		out[i] = rep.Results[i].Value
+	}
+	return out
 }
 
 // QuickScale returns a scale suitable for benchmarks and fast CLI runs:

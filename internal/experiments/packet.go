@@ -173,20 +173,29 @@ type Fig9cResult struct {
 }
 
 // Fig9c reruns the experiment under several random endsystemId assignments
-// to show the results do not depend on the assignment.
+// to show the results do not depend on the assignment. The assignments are
+// independent simulations, so they fan out across the engine's workers.
 func Fig9c(s Scale, seeds []int64) *Fig9cResult {
 	r := &Fig9cResult{Seeds: seeds}
-	var means []float64
-	for _, seed := range seeds {
-		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.PacketN, s.PacketHorizon, s.Seed))
-		run := runPacket(s, trace, seed) // same trace/workload, new ids
+	type cdf struct {
+		mean   float64
+		xs, fs []float64
+	}
+	runs := runSeries(s, "fig9c", len(seeds), func(i int, sc Scale) any {
+		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(sc.PacketN, sc.PacketHorizon, sc.Seed))
+		run := runPacket(sc, trace, seeds[i]) // same trace/workload, new ids
 		st := run.Cluster.Net.Stats()
 		tx := st.PerEndpointHourSamples(false, 0, run.RanUntil)
 		d := simnet.Summarize(append([]float64(nil), tx...))
-		means = append(means, d.Mean)
 		xs, fs := simnet.CDF(tx, 100)
-		r.Xs = append(r.Xs, xs)
-		r.Fs = append(r.Fs, fs)
+		return cdf{mean: d.Mean, xs: xs, fs: fs}
+	})
+	var means []float64
+	for _, v := range runs {
+		c := v.(cdf)
+		means = append(means, c.mean)
+		r.Xs = append(r.Xs, c.xs)
+		r.Fs = append(r.Fs, c.fs)
 	}
 	for i := range means {
 		for j := i + 1; j < len(means); j++ {
@@ -224,11 +233,11 @@ type Fig9dPoint struct {
 }
 
 // Fig9d measures overhead and predictor latency as network size varies
-// (the paper sweeps 2,000 to 51,663 endsystems).
+// (the paper sweeps 2,000 to 51,663 endsystems). Each size is an
+// independent simulation fanned across the engine's workers.
 func Fig9d(s Scale, sizes []int) []Fig9dPoint {
-	var out []Fig9dPoint
-	for _, n := range sizes {
-		sc := s
+	runs := runSeries(s, "fig9d", len(sizes), func(i int, sc Scale) any {
+		n := sizes[i]
 		sc.PacketN = n
 		trace := avail.GenerateFarsite(avail.DefaultFarsiteConfig(n, sc.PacketHorizon, sc.Seed))
 		run := runPacket(sc, trace, sc.Seed)
@@ -245,7 +254,11 @@ func Fig9d(s Scale, sizes []int) []Fig9dPoint {
 		if run.Handle.Predictor != nil {
 			pt.PredictorLatency = run.Handle.PredictorAt - run.Handle.Injected
 		}
-		out = append(out, pt)
+		return pt
+	})
+	out := make([]Fig9dPoint, len(runs))
+	for i, v := range runs {
+		out[i] = v.(Fig9dPoint)
 	}
 	return out
 }

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/anemone"
+	"repro/internal/avail"
+	"repro/internal/core"
+	"repro/internal/relq"
+	"repro/internal/runner"
+)
+
+// dayLabels and timeLabels name the panel (b) and (c) injections of the
+// completeness figures.
+var (
+	dayLabels  = []string{"Tue", "Wed", "Thu", "Fri"}
+	timeLabels = []string{"00:00", "06:00", "12:00", "18:00"}
+)
+
+// figureInjections returns the seven distinct injection instants behind
+// the Figures 5–8 panels: panel (a) and the 00:00 entries of panels (b)
+// and (c) share the Tuesday-midnight injection, panel (b) adds Wed–Fri
+// midnight, panel (c) adds Tuesday 06:00/12:00/18:00.
+func figureInjections(s Scale) []time.Duration {
+	base := s.InjectAt()
+	inj := []time.Duration{base}
+	for d := 1; d < 4; d++ {
+		inj = append(inj, base+time.Duration(d)*avail.Day)
+	}
+	for h := 1; h < 4; h++ {
+		inj = append(inj, base+time.Duration(6*h)*time.Hour)
+	}
+	return inj
+}
+
+// SweepRecord is the deterministic per-(figure, injection) record the
+// sweep emits to result sinks; it carries no timing.
+type SweepRecord struct {
+	Figure      int       `json:"figure"`
+	Label       string    `json:"label"`
+	Injection   string    `json:"injection"`
+	TotalRows   int64     `json:"total_relevant_rows"`
+	TotalRowErr float64   `json:"total_row_err_pct"`
+	Errors      []float64 `json:"err_at_checkpoints_pct"`
+}
+
+// completenessFigures evaluates the completeness figures for the
+// PaperQueries at indices qis through ONE shared study: the
+// per-endsystem datasets are generated once for all queries and the
+// availability outcomes once for all seven injections, instead of once
+// per figure. Records are emitted to sinks in (figure, injection) order.
+func completenessFigures(s Scale, qis []int, sinks []runner.Sink) []*CompletenessFigure {
+	w := anemone.DefaultConfig(s.Horizon, s.Seed)
+	w.MeanFlowsPerDay = s.FlowsPerDay
+	queries := make([]*relq.Query, len(qis))
+	for i, qi := range qis {
+		queries[i] = relq.MustParse(PaperQueries[qi].SQL)
+	}
+	study := core.RunCompletenessStudy(core.CompletenessStudyConfig{
+		Trace:       avail.GenerateFarsite(avail.DefaultFarsiteConfig(s.CompletenessN, s.Horizon, s.Seed)),
+		Workload:    w,
+		Queries:     queries,
+		InjectAts:   figureInjections(s),
+		Lifetime:    48 * time.Hour,
+		Parallelism: s.Workers,
+		Obs:         s.Obs,
+		RunnerStats: s.RunnerStats,
+	})
+
+	errorsAt := func(r *core.CompletenessResult) []float64 {
+		var es []float64
+		for _, d := range ErrorCheckpoints {
+			es = append(es, r.PredictionErrorAt(d))
+		}
+		return es
+	}
+
+	figs := make([]*CompletenessFigure, len(qis))
+	emitIndex := 0
+	for fi, qi := range qis {
+		spec := PaperQueries[qi]
+		results := study[fi]
+		out := &CompletenessFigure{Figure: spec.Figure, SQL: spec.SQL, Checkpoints: ErrorCheckpoints}
+
+		a := results[0]
+		out.Delays = a.Delays
+		out.PredictedRows = a.PredictedRows
+		out.ActualRows = a.ActualRows
+		out.TotalRowErr = a.TotalRowCountError()
+
+		out.DayLabels = dayLabels
+		out.TimeLabels = timeLabels
+		out.DayErrors = append(out.DayErrors, errorsAt(results[0]))
+		for d := 1; d < 4; d++ {
+			out.DayErrors = append(out.DayErrors, errorsAt(results[d]))
+		}
+		out.TimeErrors = append(out.TimeErrors, errorsAt(results[0]))
+		for h := 1; h < 4; h++ {
+			out.TimeErrors = append(out.TimeErrors, errorsAt(results[3+h]))
+		}
+		figs[fi] = out
+
+		for j, r := range results {
+			label := map[int]string{0: "Tue-00:00", 1: "Wed-00:00", 2: "Thu-00:00",
+				3: "Fri-00:00", 4: "Tue-06:00", 5: "Tue-12:00", 6: "Tue-18:00"}[j]
+			rec := runner.Result{
+				Index: emitIndex,
+				Name:  fmt.Sprintf("fig%d/%s", spec.Figure, label),
+				Seed:  s.Seed,
+				Value: SweepRecord{
+					Figure:      spec.Figure,
+					Label:       spec.Label,
+					Injection:   label,
+					TotalRows:   r.TotalRelevantRows,
+					TotalRowErr: r.TotalRowCountError(),
+					Errors:      errorsAt(r),
+				},
+			}
+			emitIndex++
+			if err := runner.EmitAll(sinks, []runner.Result{rec}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return figs
+}
+
+// CompletenessSweepResult bundles the four completeness figures produced
+// by one shared parallel study, with the engine timing behind them.
+type CompletenessSweepResult struct {
+	Figures []*CompletenessFigure
+	Stats   *runner.Stats
+}
+
+// CompletenessSweep reproduces Figures 5–8 in one pass over the shared
+// study (4 queries × 7 injections). Sinks, when given, receive one
+// SweepRecord per (figure, injection) cell in deterministic order.
+func CompletenessSweep(s Scale, sinks []runner.Sink) *CompletenessSweepResult {
+	if s.RunnerStats == nil {
+		s.RunnerStats = &runner.Stats{}
+	}
+	figs := completenessFigures(s, []int{0, 1, 2, 3}, sinks)
+	return &CompletenessSweepResult{Figures: figs, Stats: s.RunnerStats}
+}
+
+// Render writes every figure plus the engine's parallel-efficiency line.
+func (r *CompletenessSweepResult) Render(w io.Writer) {
+	for _, f := range r.Figures {
+		f.Render(w)
+	}
+	fmt.Fprintf(w, "# sweep: %d runs, %d workers, wall %v, busy %v, speedup %.2fx\n",
+		r.Stats.Runs, r.Stats.Workers, r.Stats.Wall.Round(time.Millisecond),
+		r.Stats.Busy.Round(time.Millisecond), r.Stats.Speedup())
+}
+
+// MaxAbsError returns the largest |prediction error| across all figures.
+func (r *CompletenessSweepResult) MaxAbsError() float64 {
+	maxAbs := 0.0
+	for _, f := range r.Figures {
+		if e := f.MaxAbsError(); e > maxAbs {
+			maxAbs = e
+		}
+	}
+	return maxAbs
+}

@@ -269,6 +269,51 @@ func (r *Registry) DurationHistogram(name string) *Histogram {
 	return r.Histogram(name)
 }
 
+// merge folds another histogram into this one.
+func (h *Histogram) merge(src *Histogram) {
+	if src == nil || src.count == 0 {
+		return
+	}
+	if h.count == 0 || src.min < h.min {
+		h.min = src.min
+	}
+	if src.max > h.max {
+		h.max = src.max
+	}
+	h.count += src.count
+	h.sum += src.sum
+	for i := range h.buckets {
+		h.buckets[i] += src.buckets[i]
+	}
+}
+
+// Merge folds another registry into this one: counters add, histograms
+// combine bucketwise, gauges take the source's value. The registry is
+// single-threaded, so parallel simulation runs each use their own
+// registry and the runner merges them in run order once the runs have
+// completed — making the merged totals deterministic at any worker
+// count (histogram bucket counts and counter sums are order-independent;
+// gauges resolve to the last run's value by the fixed merge order).
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range src.gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, h := range src.histograms {
+		r.Histogram(name).merge(h)
+	}
+	for name, isDur := range src.durations {
+		if isDur {
+			r.durations[name] = true
+		}
+	}
+}
+
 // WriteSummary prints every metric in name order: counters and gauges one
 // per line, histograms with count/mean/P50/P90/P99/max.
 func (r *Registry) WriteSummary(w io.Writer) {

@@ -185,3 +185,44 @@ func TestRingSinkWraps(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryMerge(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("msgs").Add(10)
+	src.Counter("msgs").Add(5)
+	src.Counter("only_src").Inc()
+	dst.Gauge("g").Set(1)
+	src.Gauge("g").Set(2)
+	dst.Histogram("h").Observe(4)
+	src.Histogram("h").Observe(1024)
+	src.DurationHistogram("lat_ns").ObserveDuration(time.Second)
+
+	dst.Merge(src)
+	if got := dst.Counter("msgs").Value(); got != 15 {
+		t.Fatalf("merged counter = %d, want 15", got)
+	}
+	if got := dst.Counter("only_src").Value(); got != 1 {
+		t.Fatalf("src-only counter = %d", got)
+	}
+	if got := dst.Gauge("g").Value(); got != 2 {
+		t.Fatalf("merged gauge = %g, want source value 2", got)
+	}
+	h := dst.Histogram("h")
+	if h.Count() != 2 || h.Min() != 4 || h.Max() != 1024 {
+		t.Fatalf("merged histogram count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != (4+1024)/2.0 {
+		t.Fatalf("merged mean = %g", h.Mean())
+	}
+	var buf strings.Builder
+	dst.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "lat_ns") {
+		t.Fatal("duration marking lost in merge")
+	}
+	// Merging an empty registry (and nil) is a no-op.
+	dst.Merge(NewRegistry())
+	dst.Merge(nil)
+	if dst.Histogram("h").Count() != 2 {
+		t.Fatal("empty merge changed state")
+	}
+}

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Sink receives results, strictly in run-index order. Sinks are called
+// from a single goroutine and need no locking.
+type Sink interface {
+	Emit(res Result) error
+	Close() error
+}
+
+// FinishSink is an optional Sink extension: the engine calls Finish with
+// the final report after the last Emit (the bench summary uses it).
+type FinishSink interface {
+	Finish(rep *Report)
+}
+
+// EmitAll pushes a result slice through sinks in order — for sweeps that
+// produce their records outside an engine execution — and returns the
+// first sink error.
+func EmitAll(sinks []Sink, results []Result) error {
+	var first error
+	for _, res := range results {
+		for _, s := range sinks {
+			if err := s.Emit(res); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// CloseAll closes every sink, returning the first error.
+func CloseAll(sinks []Sink) error {
+	var first error
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// jsonlRecord is the deterministic JSONL line: no timing, so that equal
+// seeds give byte-identical files at any worker count.
+type jsonlRecord struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Value any    `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// JSONLSink writes one JSON line per result. Output depends only on the
+// results (never on timing or worker count).
+type JSONLSink struct {
+	w io.Writer
+}
+
+// NewJSONLSink returns a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit writes one line.
+func (s *JSONLSink) Emit(res Result) error {
+	rec := jsonlRecord{Index: res.Index, Name: res.Name, Seed: res.Seed, Value: res.Value}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(s.w, "%s\n", b)
+	return err
+}
+
+// Close is a no-op (the caller owns the writer).
+func (s *JSONLSink) Close() error { return nil }
+
+// CSVSink writes one row per result: index, name, seed, status and the
+// JSON-encoded value. Like JSONLSink, its output excludes timing.
+type CSVSink struct {
+	cw     *csv.Writer
+	header bool
+}
+
+// NewCSVSink returns a sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{cw: csv.NewWriter(w)} }
+
+// Emit writes one row (plus the header before the first).
+func (s *CSVSink) Emit(res Result) error {
+	if !s.header {
+		s.header = true
+		if err := s.cw.Write([]string{"index", "name", "seed", "status", "value"}); err != nil {
+			return err
+		}
+	}
+	status := "ok"
+	if res.Err != nil {
+		status = "failed"
+	}
+	val := ""
+	if res.Value != nil {
+		b, err := json.Marshal(res.Value)
+		if err != nil {
+			return err
+		}
+		val = string(b)
+	}
+	return s.cw.Write([]string{
+		fmt.Sprintf("%d", res.Index), res.Name,
+		fmt.Sprintf("%d", res.Seed), status, val,
+	})
+}
+
+// Close flushes buffered rows.
+func (s *CSVSink) Close() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// BenchSummary is the perf summary written to BENCH_runner.json.
+type BenchSummary struct {
+	Label           string  `json:"label"`
+	Workers         int     `json:"workers"`
+	Runs            int     `json:"runs"`
+	Failed          int     `json:"failed"`
+	WallNS          int64   `json:"wall_ns"`
+	BusyNS          int64   `json:"busy_ns"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	NumCPU          int     `json:"num_cpu"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+}
+
+// NewBenchSummary builds the summary from accumulated engine stats plus
+// the overall wall-clock time of the sweep (which may include serial
+// phases outside the engines; SpeedupVsSerial is measured over the
+// engine-executed portion only, honestly excluding them).
+func NewBenchSummary(label string, st *Stats, sweepWall time.Duration) BenchSummary {
+	b := BenchSummary{
+		Label:      label,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WallNS:     int64(sweepWall),
+	}
+	if st != nil {
+		b.Workers = st.Workers
+		b.Runs = st.Runs
+		b.Failed = st.Failed
+		b.BusyNS = int64(st.Busy)
+		b.SpeedupVsSerial = st.Speedup()
+	}
+	return b
+}
+
+// WriteFile writes the summary as indented JSON to path.
+func (b BenchSummary) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchSink is a Sink that accumulates per-run timing and writes a
+// BENCH_runner.json perf summary when the engine finishes.
+type BenchSink struct {
+	Label string
+	Path  string
+	err   error
+}
+
+// NewBenchSink returns a sink writing the summary to path on Finish.
+func NewBenchSink(label, path string) *BenchSink {
+	return &BenchSink{Label: label, Path: path}
+}
+
+// Emit is a no-op: timing is taken from the final report.
+func (s *BenchSink) Emit(Result) error { return nil }
+
+// Finish writes the summary for the completed execution.
+func (s *BenchSink) Finish(rep *Report) {
+	b := BenchSummary{
+		Label:           s.Label,
+		Workers:         rep.Workers,
+		Runs:            len(rep.Results),
+		Failed:          rep.Failed,
+		WallNS:          int64(rep.Elapsed),
+		BusyNS:          int64(rep.Busy),
+		SpeedupVsSerial: rep.Speedup(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+	}
+	s.err = b.WriteFile(s.Path)
+}
+
+// Close surfaces any write error from Finish.
+func (s *BenchSink) Close() error { return s.err }

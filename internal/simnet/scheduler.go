@@ -13,17 +13,24 @@ package simnet
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Scheduler is a discrete-event scheduler with virtual time. The zero value
 // is not usable; call NewScheduler. Schedulers are not safe for concurrent
 // use: the entire simulation runs single-threaded in virtual time, which is
-// what makes runs deterministic and reproducible.
+// what makes runs deterministic and reproducible. Parallel sweeps (see
+// internal/runner) give every run its own scheduler; RunUntil asserts this
+// single-driver discipline and panics if two goroutines ever drive the same
+// scheduler concurrently, turning a silent determinism bug into a loud one.
 type Scheduler struct {
 	now   time.Duration
 	seq   uint64
 	queue eventQueue
+	// running guards against concurrent (or re-entrant) RunUntil: one
+	// scheduler, one driving goroutine.
+	running atomic.Bool
 }
 
 // NewScheduler returns a scheduler whose clock starts at 0.
@@ -111,6 +118,11 @@ func (s *Scheduler) Run() int { return s.RunUntil(1<<63 - 1) }
 // deadline exceeds the last event). It returns the number of events
 // executed.
 func (s *Scheduler) RunUntil(deadline time.Duration) int {
+	if !s.running.CompareAndSwap(false, true) {
+		panic("simnet: Scheduler driven from two goroutines concurrently; " +
+			"each parallel run must own its scheduler (see internal/runner)")
+	}
+	defer s.running.Store(false)
 	n := 0
 	for s.queue.Len() > 0 {
 		ev := s.queue[0]

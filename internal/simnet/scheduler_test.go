@@ -134,3 +134,41 @@ func TestNestedScheduling(t *testing.T) {
 		t.Fatalf("clock = %v", s.Now())
 	}
 }
+
+func TestSchedulerRejectsConcurrentDrivers(t *testing.T) {
+	// Two goroutines driving one scheduler is exactly the sharing mistake
+	// a parallel sweep could make; the scheduler must detect it rather
+	// than silently produce nondeterministic results.
+	s := NewScheduler()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	s.At(time.Second, func() {
+		close(entered)
+		<-release
+	})
+	go func() {
+		defer close(firstDone)
+		s.RunUntil(10 * time.Second)
+	}()
+	<-entered // the first driver is now inside RunUntil
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		s.RunUntil(20 * time.Second)
+	}()
+	if !<-panicked {
+		t.Fatal("second concurrent driver did not panic")
+	}
+	close(release)
+	<-firstDone
+
+	// After the drivers are gone the scheduler is usable again.
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.RunUntil(30 * time.Second)
+	if !fired {
+		t.Fatal("scheduler unusable after concurrent-driver panic")
+	}
+}

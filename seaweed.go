@@ -138,6 +138,11 @@ type (
 	ClusterConfig = core.ClusterConfig
 	QueryHandle   = core.QueryHandle
 	ResultUpdate  = core.ResultUpdate
+	// Subscription is a cursor over a query's result updates in
+	// virtual-time order; obtain one from QueryHandle.Updates. Handles
+	// also accept QueryHandle.OnUpdate callbacks. QueryHandle.Latest
+	// remains as a polling-compatibility wrapper.
+	Subscription = core.Subscription
 	// Endpoint identifies an endsystem in a cluster (its index).
 	Endpoint = simnet.Endpoint
 	// Node is one Seaweed endsystem within a cluster.
@@ -164,14 +169,91 @@ func DefaultClusterConfig(trace *AvailabilityTrace, seed int64) ClusterConfig {
 	return core.DefaultClusterConfig(trace, seed)
 }
 
-// NewCluster builds and wires the deployment.
-func NewCluster(cfg ClusterConfig) *Cluster { return core.NewCluster(cfg) }
+// Option adjusts a cluster's configuration before construction. Options
+// are thin, documented wrappers over ClusterConfig fields; anything they
+// can express can also be done by mutating a DefaultClusterConfig and
+// calling NewClusterFromConfig.
+type Option func(*ClusterConfig)
+
+// WithSeed sets the seed driving all of the deployment's randomness —
+// workload generation (ClusterConfig.Workload.Seed), network loss
+// (Net.Seed), overlay protocol jitter (Pastry.Seed), per-node streams
+// (Node.Seed, split per endsystem) and endsystem id assignment
+// (ClusterConfig.Seed). Same trace + same seed means a bit-identical
+// simulation. Default 1.
+func WithSeed(seed int64) Option {
+	return func(cfg *ClusterConfig) {
+		cfg.Seed = seed
+		cfg.Workload.Seed = seed
+		cfg.Net.Seed = seed
+		cfg.Pastry.Seed = seed
+		cfg.Node.Seed = seed
+	}
+}
+
+// WithLoss sets the independent per-message drop probability of the
+// simulated network (ClusterConfig.Net.LossRate). Default 0.
+func WithLoss(rate float64) Option {
+	return func(cfg *ClusterConfig) { cfg.Net.LossRate = rate }
+}
+
+// WithScale truncates the deployment to the first n endsystems of the
+// trace (all of it when n exceeds the trace). It replaces
+// ClusterConfig.Trace with the truncated trace; use it to dial a large
+// generated trace down to an affordable simulation.
+func WithScale(n int) Option {
+	return func(cfg *ClusterConfig) {
+		if n < len(cfg.Trace.Profiles) {
+			cfg.Trace = &avail.Trace{Horizon: cfg.Trace.Horizon, Profiles: cfg.Trace.Profiles[:n]}
+		}
+	}
+}
+
+// WithFlowsPerDay sets the mean per-endsystem workload intensity
+// (ClusterConfig.Workload.MeanFlowsPerDay). Default 200.
+func WithFlowsPerDay(n int) Option {
+	return func(cfg *ClusterConfig) { cfg.Workload.MeanFlowsPerDay = n }
+}
+
+// WithFeed enables live data updates (ClusterConfig.Feed): endsystems
+// start empty and accrue rows while up, refreshing metadata every period.
+func WithFeed(period time.Duration) Option {
+	return func(cfg *ClusterConfig) {
+		cfg.Feed = FeedConfig{Enabled: true, Period: period}
+	}
+}
+
+// WithConfig applies fn to the full ClusterConfig — the escape hatch to
+// any field without leaving the options style.
+func WithConfig(fn func(*ClusterConfig)) Option { return Option(fn) }
+
+// NewCluster builds and wires a deployment over the trace with the
+// paper's default configuration, adjusted by the options:
+//
+//	c := seaweed.NewCluster(trace,
+//		seaweed.WithSeed(7),
+//		seaweed.WithLoss(0.01),
+//		seaweed.WithScale(1000))
+//
+// Use NewClusterFromConfig for full struct-level control.
+func NewCluster(trace *AvailabilityTrace, opts ...Option) *Cluster {
+	cfg := core.DefaultClusterConfig(trace, 1)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewCluster(cfg)
+}
+
+// NewClusterFromConfig builds and wires the deployment from an explicit
+// configuration (see DefaultClusterConfig).
+func NewClusterFromConfig(cfg ClusterConfig) *Cluster { return core.NewCluster(cfg) }
 
 // Completeness experiments: availability-level simulation of predicted vs
 // actual completeness.
 type (
-	CompletenessConfig = core.CompletenessConfig
-	CompletenessResult = core.CompletenessResult
+	CompletenessConfig      = core.CompletenessConfig
+	CompletenessResult      = core.CompletenessResult
+	CompletenessStudyConfig = core.CompletenessStudyConfig
 )
 
 // RunCompleteness evaluates one query injection.
@@ -180,9 +262,18 @@ func RunCompleteness(cfg CompletenessConfig) *CompletenessResult {
 }
 
 // RunCompletenessSeries evaluates several injection times over a shared
-// trace and workload.
+// trace and workload, fanned across the deterministic parallel engine
+// (cfg.Parallelism workers; results identical at any worker count).
 func RunCompletenessSeries(cfg CompletenessConfig, injectAts []time.Duration) []*CompletenessResult {
 	return core.RunCompletenessSeries(cfg, injectAts)
+}
+
+// RunCompletenessStudy evaluates every (query, injection) pair of a
+// multi-query study in one pass: datasets are generated once and shared,
+// and the cells execute in parallel. Results are indexed
+// [query][injection].
+func RunCompletenessStudy(cfg CompletenessStudyConfig) [][]*CompletenessResult {
+	return core.RunCompletenessStudy(cfg)
 }
 
 // Analytical models (Section 4.2 of the paper).

@@ -9,9 +9,7 @@ import (
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	trace := FarsiteTrace(120, 2*24*time.Hour, 99)
-	cfg := DefaultClusterConfig(trace, 99)
-	cfg.Workload.MeanFlowsPerDay = 40
-	cluster := NewCluster(cfg)
+	cluster := NewCluster(trace, WithSeed(99), WithFlowsPerDay(40))
 	cluster.RunUntil(24 * time.Hour)
 
 	q, err := ParseQuery("SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80")
@@ -23,6 +21,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("no live endsystem")
 	}
 	h := cluster.InjectQuery(injector, q)
+	var streamed []ResultUpdate
+	h.OnUpdate(func(u ResultUpdate) { streamed = append(streamed, u) })
 	cluster.RunUntil(cluster.Sched.Now() + 5*time.Minute)
 
 	if h.Predictor == nil {
@@ -37,6 +37,34 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	last, ok := h.Latest()
 	if !ok || last.Partial.Final(Sum) <= 0 {
 		t.Fatal("no incremental result through the public API")
+	}
+	// The streaming API delivers the same updates as the polled log.
+	if len(streamed) == 0 || streamed[len(streamed)-1] != last {
+		t.Fatal("OnUpdate stream disagrees with Latest")
+	}
+	sub := h.Updates()
+	if sub.Pending() != len(streamed) {
+		t.Fatalf("subscription sees %d pending, callback saw %d", sub.Pending(), len(streamed))
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	trace := FarsiteTrace(80, 24*time.Hour, 5)
+	// WithScale truncates the deployment; WithSeed/WithLoss configure it.
+	cluster := NewCluster(trace,
+		WithSeed(5), WithLoss(0.01), WithScale(30), WithFlowsPerDay(20))
+	if len(cluster.Nodes) != 30 {
+		t.Fatalf("WithScale(30) built %d nodes", len(cluster.Nodes))
+	}
+	// Same trace and options build the identical deployment; the explicit
+	// config path reaches the same state.
+	cfg := DefaultClusterConfig(trace, 5)
+	WithLoss(0.01)(&cfg)
+	WithScale(30)(&cfg)
+	WithFlowsPerDay(20)(&cfg)
+	other := NewClusterFromConfig(cfg)
+	if len(other.Nodes) != len(cluster.Nodes) {
+		t.Fatal("NewClusterFromConfig diverges from NewCluster with options")
 	}
 }
 
