@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench sweep-smoke obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke obs-bench check clean
 
 all: check
 
@@ -28,6 +28,27 @@ bench: runner-bench
 # busy time, and speedup vs serial execution).
 runner-bench:
 	$(GO) run ./cmd/seaweed-sim -sweep -parallel 0 -bench BENCH_runner.json > /dev/null
+
+# cluster-bench runs the event-engine throughput benchmark (N=2000
+# endsystems, 6 hours of virtual time) and persists events/sec, ns/event
+# and allocs/event — next to the pinned pre-timer-wheel baseline — in
+# BENCH_cluster.json.
+cluster-bench:
+	$(GO) test -run '^$$' -bench BenchmarkClusterSteadyState -benchtime=3x -benchmem .
+
+# bench-smoke is the CI benchmark gate: one iteration of the engine
+# benchmark. It fails on build errors and panics, never on timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkClusterSteadyState -benchtime=1x -benchmem .
+
+# profile captures CPU and heap profiles of the engine benchmark.
+# Inspect with `go tool pprof cpu.pprof` (top, list, web). For profiling
+# a specific experiment instead, see seaweed-sim's -cpuprofile,
+# -memprofile and -profileruns flags.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkClusterSteadyState -benchtime=3x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # sweep-smoke is the CI smoke test: a shrunken parallel sweep that
 # exercises the engine, the sinks, and the bench summary end to end.

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -48,7 +50,28 @@ func main() {
 	tracePath := flag.String("trace", "", "write query-lifecycle trace events to this JSONL file")
 	verbose := flag.Bool("vtrace", false, "with -trace, also record per-hop routing and maintenance detail events")
 	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	profileRuns := flag.String("profileruns", "", "capture a per-run CPU profile into this directory (forces serial runs)")
 	flag.Parse()
+
+	if *cpuProfile != "" && *profileRuns != "" {
+		fmt.Fprintln(os.Stderr, "seaweed-sim: -cpuprofile and -profileruns are mutually exclusive (one CPU profile at a time)")
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "seaweed-sim: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	s := experiments.QuickScale()
 	if *full {
@@ -62,6 +85,7 @@ func main() {
 	}
 	s.Seed = *seed
 	s.Workers = *parallel
+	s.ProfileDir = *profileRuns
 	stats := &runner.Stats{}
 	s.RunnerStats = stats
 	w := os.Stdout
@@ -98,12 +122,31 @@ func main() {
 		}
 		if *benchPath != "" {
 			sum := runner.NewBenchSummary("seaweed-sim", stats, time.Since(start))
+			sum.SetEvents(o.Counter("sched_events").Value())
 			if err := sum.WriteFile(*benchPath); err != nil {
 				fmt.Fprintf(os.Stderr, "seaweed-sim: writing %s: %v\n", *benchPath, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(w, "# bench: %d engine runs, %d workers, speedup %.2fx vs serial -> %s\n",
-				sum.Runs, sum.Workers, sum.SpeedupVsSerial, *benchPath)
+			if sum.Workers > 1 {
+				fmt.Fprintf(w, "# bench: %d engine runs, %d workers, speedup %.2fx vs serial, %.0f events/sec -> %s\n",
+					sum.Runs, sum.Workers, sum.SpeedupVsSerial, sum.EventsPerSec, *benchPath)
+			} else {
+				fmt.Fprintf(w, "# bench: %d engine runs, serial, %.0f events/sec -> %s\n",
+					sum.Runs, sum.EventsPerSec, *benchPath)
+			}
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 

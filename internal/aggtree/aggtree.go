@@ -31,7 +31,7 @@ package aggtree
 
 import (
 	"fmt"
-
+	"slices"
 	"sort"
 	"time"
 
@@ -330,8 +330,10 @@ func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector si
 	c := &contribution{Version: version, Part: part, Contributors: 1}
 	e.submitted[qid] = c
 	e.cSubmits.Inc()
-	e.o.EmitDetail(obs.Event{Kind: obs.KindSubmit, Query: qid.Short(),
-		EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
+	if e.o.Detail() {
+		e.o.EmitDetail(obs.Event{Kind: obs.KindSubmit, Query: qid.Short(),
+			EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
+	}
 	e.sendSubmission(qid, *c)
 }
 
@@ -534,8 +536,8 @@ func (e *Engine) forwardUp(v *vertexState) {
 func (e *Engine) backupSet(vertex ids.ID) []pastry.NodeRef {
 	node := e.host.PastryNode()
 	cands := node.Leafset()
-	sort.Slice(cands, func(i, j int) bool {
-		return vertex.AbsDistance(cands[i].ID).Less(vertex.AbsDistance(cands[j].ID))
+	slices.SortFunc(cands, func(a, b pastry.NodeRef) int {
+		return vertex.AbsDistance(a.ID).Cmp(vertex.AbsDistance(b.ID))
 	})
 	if len(cands) > e.cfg.Backups {
 		cands = cands[:e.cfg.Backups]

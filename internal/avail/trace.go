@@ -101,7 +101,15 @@ func (p *Profile) NextUp(t time.Duration) (time.Duration, bool) {
 // UpTimeIn returns the total available time within [from, to).
 func (p *Profile) UpTimeIn(from, to time.Duration) time.Duration {
 	var total time.Duration
-	for _, iv := range p.Up {
+	// Up is sorted and non-overlapping: binary-search to the first
+	// interval that can overlap [from, to) and stop at the first one past
+	// to. This runs once per endsystem per query injection.
+	i := sort.Search(len(p.Up), func(i int) bool { return p.Up[i].End > from })
+	for ; i < len(p.Up); i++ {
+		iv := p.Up[i]
+		if iv.Start >= to {
+			break
+		}
 		s, e := iv.Start, iv.End
 		if s < from {
 			s = from
@@ -133,11 +141,19 @@ type Transition struct {
 // [from, to). An up interval straddling from yields no transition at from
 // (the endsystem is already up).
 func (p *Profile) Transitions(from, to time.Duration) []Transition {
-	var out []Transition
-	for _, iv := range p.Up {
-		if iv.End <= from || iv.Start >= to {
-			continue
-		}
+	// Same bounded scan as UpTimeIn, pre-sizing for the worst case of two
+	// transitions per overlapping interval so the result grows at most
+	// once.
+	lo := sort.Search(len(p.Up), func(i int) bool { return p.Up[i].End > from })
+	hi := lo
+	for hi < len(p.Up) && p.Up[hi].Start < to {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	out := make([]Transition, 0, 2*(hi-lo))
+	for _, iv := range p.Up[lo:hi] {
 		if iv.Start >= from {
 			out = append(out, Transition{At: iv.Start, Up: true})
 		}

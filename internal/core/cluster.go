@@ -82,6 +82,9 @@ type Cluster struct {
 	Ring  *pastry.Ring
 	Nodes []*Node
 	cfg   ClusterConfig
+
+	cSchedEvents *obs.Counter // sched_events: scheduler events executed
+	seenEvents   uint64       // events already accounted to cSchedEvents
 }
 
 // NewCluster builds the cluster: endsystem data, overlay nodes, the t=0
@@ -101,7 +104,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	o.BindClock(sched.Now)
 	net.SetObs(o)
 	ring := pastry.NewRing(net, cfg.Pastry)
-	c := &Cluster{Sched: sched, Net: net, Ring: ring, Nodes: make([]*Node, n), cfg: cfg}
+	c := &Cluster{Sched: sched, Net: net, Ring: ring, Nodes: make([]*Node, n), cfg: cfg,
+		cSchedEvents: o.Counter("sched_events")}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idList := ids.RandomN(rng, n)
@@ -158,7 +162,15 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 }
 
 // RunUntil advances the simulation to the given virtual time.
-func (c *Cluster) RunUntil(t time.Duration) { c.Sched.RunUntil(t) }
+func (c *Cluster) RunUntil(t time.Duration) {
+	c.Sched.RunUntil(t)
+	// Surface engine throughput: the sched_events counter tracks the
+	// scheduler's executed-event count so sweeps can report events/sec.
+	if exec := c.Sched.Executed(); exec > c.seenEvents {
+		c.cSchedEvents.Add(exec - c.seenEvents)
+		c.seenEvents = exec
+	}
+}
 
 // Obs returns the cluster's observability layer (nil when disabled).
 func (c *Cluster) Obs() *obs.Obs { return c.Net.Obs() }

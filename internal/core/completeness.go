@@ -52,6 +52,9 @@ type CompletenessConfig struct {
 	// RunnerStats, when non-nil, accumulates the parallel engine's
 	// timing for perf summaries (BENCH_runner.json).
 	RunnerStats *runner.Stats
+	// ProfileDir, when non-empty, captures a per-injection CPU profile
+	// (see runner.Config.ProfileDir); implies serial execution.
+	ProfileDir string
 }
 
 // CompletenessStudyConfig parameterizes a completeness study: several
@@ -64,8 +67,8 @@ type CompletenessStudyConfig struct {
 	Workload  anemone.Config
 	Queries   []*relq.Query
 	InjectAts []time.Duration
-	// Lifetime, MinUpTime, Parallelism, SampleDelays, Mode, Obs and
-	// RunnerStats are as in CompletenessConfig.
+	// Lifetime, MinUpTime, Parallelism, SampleDelays, Mode, Obs,
+	// RunnerStats and ProfileDir are as in CompletenessConfig.
 	Lifetime     time.Duration
 	MinUpTime    time.Duration
 	Parallelism  int
@@ -73,6 +76,7 @@ type CompletenessStudyConfig struct {
 	Mode         avail.PredictionMode
 	Obs          *obs.Obs
 	RunnerStats  *runner.Stats
+	ProfileDir   string
 }
 
 // CompletenessResult is the outcome of one completeness experiment.
@@ -177,6 +181,7 @@ func RunCompletenessSeries(cfg CompletenessConfig, injectAts []time.Duration) []
 		SampleDelays: cfg.SampleDelays,
 		Mode:         cfg.Mode,
 		Obs:          cfg.Obs,
+		ProfileDir:   cfg.ProfileDir,
 		RunnerStats:  cfg.RunnerStats,
 	})[0]
 }
@@ -265,7 +270,8 @@ func RunCompletenessStudy(cfg CompletenessStudyConfig) [][]*CompletenessResult {
 		}
 	}
 	rep, err := runner.Execute(context.Background(),
-		runner.Config{Workers: workers, Obs: cfg.Obs, Stats: cfg.RunnerStats}, specs)
+		runner.Config{Workers: workers, Obs: cfg.Obs, Stats: cfg.RunnerStats,
+			ProfileDir: cfg.ProfileDir}, specs)
 	if err != nil {
 		panic(err)
 	}

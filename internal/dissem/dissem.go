@@ -376,8 +376,10 @@ func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 			DebugContribute(node.ID(), rec.Subject, rows)
 		}
 		e.cOnBehalf.Inc()
-		e.o.EmitDetail(obs.Event{Kind: obs.KindOnBehalf, Query: t.key.qid.Short(),
-			EP: int(node.Endpoint()), V: rows})
+		if e.o.Detail() {
+			e.o.EmitDetail(obs.Event{Kind: obs.KindOnBehalf, Query: t.key.qid.Short(),
+				EP: int(node.Endpoint()), V: rows})
+		}
 		t.acc.AddModel(rec.Model, now, rec.DownSince, rows)
 	}
 }

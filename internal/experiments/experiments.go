@@ -53,6 +53,9 @@ type Scale struct {
 	// RunnerStats, when non-nil, accumulates engine timing across every
 	// experiment run through it (for the BENCH_runner.json summary).
 	RunnerStats *runner.Stats
+	// ProfileDir, when non-empty, captures a per-run CPU profile into it
+	// (see runner.Config.ProfileDir); implies serial execution.
+	ProfileDir string
 }
 
 // runSeries executes n independent runs of an experiment through the
@@ -92,7 +95,7 @@ func runSeries(s Scale, name string, n int, run func(i int, sc Scale) any) []any
 			Run:  func(runner.RunContext) (any, error) { return run(i, sc), nil },
 		}
 	}
-	cfg := runner.Config{Workers: workers, Seed: s.Seed, Stats: s.RunnerStats}
+	cfg := runner.Config{Workers: workers, Seed: s.Seed, Stats: s.RunnerStats, ProfileDir: s.ProfileDir}
 	if !serialShared {
 		// The collector's progress counters may not share a registry with
 		// the runs; with a shared serial registry they stay off it too.
@@ -131,11 +134,14 @@ func QuickScale() Scale {
 }
 
 // FullScale approaches the paper's deployment sizes. Packet-level runs at
-// these sizes take tens of minutes of wall-clock time.
+// these sizes take tens of minutes of wall-clock time. PacketN 16,000
+// became practical with the timer-wheel engine (see BENCH_cluster.json:
+// ~1.6× events/sec and ~7× fewer allocations per event than the old
+// binary-heap engine, whose GC pressure dominated large runs).
 func FullScale() Scale {
 	return Scale{
 		CompletenessN: 51663,
-		PacketN:       8000,
+		PacketN:       16000,
 		Horizon:       5 * avail.Week,
 		PacketHorizon: 2 * avail.Week,
 		FlowsPerDay:   200,

@@ -1,6 +1,9 @@
 package ids
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // DigitsPerID returns the number of base-2^b digits in an identifier for a
 // given digit width b. For the typical b=4 this is 32.
@@ -61,13 +64,18 @@ func (id ID) WithDigit(i, b, d int) ID {
 // aggregation-tree parent function V in the Seaweed paper.
 func CommonPrefixLen(a, b2 ID, b int) int {
 	checkB(b)
-	n := DigitsPerID(b)
-	for i := 0; i < n; i++ {
-		if a.Digit(i, b) != b2.Digit(i, b) {
-			return i
-		}
+	// Because b divides 64, a digit never straddles the Hi/Lo word
+	// boundary, so the number of agreeing leading bits (via XOR and a
+	// count-leading-zeros) truncated to whole digits is exactly the
+	// common prefix length. This runs on every routing hop; the digit
+	// loop it replaces showed up in CPU profiles of large clusters.
+	if x := a.Hi ^ b2.Hi; x != 0 {
+		return bits.LeadingZeros64(x) / b
 	}
-	return n
+	if x := a.Lo ^ b2.Lo; x != 0 {
+		return (64 + bits.LeadingZeros64(x)) / b
+	}
+	return DigitsPerID(b)
 }
 
 // CommonSuffixLen returns the length, in base-2^b digits, of the longest
@@ -78,13 +86,15 @@ func CommonPrefixLen(a, b2 ID, b int) int {
 // converge to the queryId at the root.
 func CommonSuffixLen(a, b2 ID, b int) int {
 	checkB(b)
-	n := DigitsPerID(b)
-	for i := 0; i < n; i++ {
-		if a.Digit(n-1-i, b) != b2.Digit(n-1-i, b) {
-			return i
-		}
+	// Mirror of CommonPrefixLen: trailing agreeing bits truncated to
+	// whole digits, valid because digits never straddle the word split.
+	if x := a.Lo ^ b2.Lo; x != 0 {
+		return bits.TrailingZeros64(x) / b
 	}
-	return n
+	if x := a.Hi ^ b2.Hi; x != 0 {
+		return (64 + bits.TrailingZeros64(x)) / b
+	}
+	return DigitsPerID(b)
 }
 
 // PrefixMask keeps the first count base-2^b digits of the identifier and

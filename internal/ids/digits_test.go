@@ -153,3 +153,54 @@ func TestCommonPrefixConsistentWithDigits(t *testing.T) {
 		}
 	}
 }
+
+// TestPrefixSuffixLenMatchesDigitLoop cross-checks the word-level
+// CommonPrefixLen/CommonSuffixLen implementations against the literal
+// digit-by-digit definition across every supported digit width and a mix
+// of random pairs, near-identical pairs, and boundary-straddling
+// differences.
+func TestPrefixSuffixLenMatchesDigitLoop(t *testing.T) {
+	prefixRef := func(a, b2 ID, b int) int {
+		n := DigitsPerID(b)
+		for i := 0; i < n; i++ {
+			if a.Digit(i, b) != b2.Digit(i, b) {
+				return i
+			}
+		}
+		return n
+	}
+	suffixRef := func(a, b2 ID, b int) int {
+		n := DigitsPerID(b)
+		for i := 0; i < n; i++ {
+			if a.Digit(n-1-i, b) != b2.Digit(n-1-i, b) {
+				return i
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(42))
+	randID := func() ID { return ID{Hi: rng.Uint64(), Lo: rng.Uint64()} }
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		n := DigitsPerID(b)
+		var pairs [][2]ID
+		for i := 0; i < 200; i++ {
+			pairs = append(pairs, [2]ID{randID(), randID()})
+		}
+		// Identical IDs and single-digit differences at every position,
+		// including digits adjacent to the Hi/Lo word boundary.
+		base := randID()
+		pairs = append(pairs, [2]ID{base, base})
+		for i := 0; i < n; i++ {
+			d := (base.Digit(i, b) + 1 + rng.Intn((1<<b)-1)) % (1 << b)
+			pairs = append(pairs, [2]ID{base, base.WithDigit(i, b, d)})
+		}
+		for _, p := range pairs {
+			if got, want := CommonPrefixLen(p[0], p[1], b), prefixRef(p[0], p[1], b); got != want {
+				t.Fatalf("b=%d CommonPrefixLen(%v,%v) = %d, want %d", b, p[0], p[1], got, want)
+			}
+			if got, want := CommonSuffixLen(p[0], p[1], b), suffixRef(p[0], p[1], b); got != want {
+				t.Fatalf("b=%d CommonSuffixLen(%v,%v) = %d, want %d", b, p[0], p[1], got, want)
+			}
+		}
+	}
+}

@@ -17,7 +17,9 @@ package metadata
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/avail"
@@ -46,10 +48,17 @@ func (r *Record) clone() *Record {
 	return &c
 }
 
-// pushMsg replicates a record to one replica-set member.
+// pushMsg replicates a record to one replica-set member. The wrappers
+// are pooled: a push to a K-member replica set sends K of them, and the
+// receiver recycles each as soon as it has taken the record out.
+// Wrappers lost in flight just fall to the garbage collector. The pool is
+// package-level (clusters in parallel sweep runs share it), so it must be
+// a sync.Pool rather than a single-threaded free list.
 type pushMsg struct {
 	Rec *Record
 }
+
+var pushMsgPool = sync.Pool{New: func() any { return new(pushMsg) }}
 
 // recordWireSize computes the on-the-wire size of a record push.
 func recordWireSize(sum *relq.Summary, _ *avail.Model) int {
@@ -100,6 +109,8 @@ type Service struct {
 	// lastPushed tracks, per replica member, the summary version most
 	// recently sent to it, the base for delta-encoded pushes.
 	lastPushed map[ids.ID]*relq.Summary
+	// scratch is the reusable replica-set buffer for pushOwn.
+	scratch []pastry.NodeRef
 
 	// Observability handles, cached at construction (nil-safe no-ops when
 	// disabled).
@@ -193,8 +204,11 @@ func (s *Service) pushOwn() {
 	rec.Version = now
 	rec.Up = true
 	s.own = rec
-	s.o.EmitDetail(obs.Event{Kind: obs.KindMetaPush, EP: int(s.node.Endpoint())})
-	for _, m := range s.node.ReplicaSet(s.cfg.K) {
+	if s.o.Detail() {
+		s.o.EmitDetail(obs.Event{Kind: obs.KindMetaPush, EP: int(s.node.Endpoint())})
+	}
+	s.scratch = s.node.AppendReplicaSet(s.scratch[:0], s.cfg.K)
+	for _, m := range s.scratch {
 		s.cPushes.Inc()
 		size := rec.WireSize
 		if s.cfg.DeltaPush && rec.Summary != nil {
@@ -213,8 +227,10 @@ func (s *Service) send(to pastry.NodeRef, rec *Record) {
 }
 
 func (s *Service) sendSized(to pastry.NodeRef, rec *Record, size int) {
+	m := pushMsgPool.Get().(*pushMsg)
+	m.Rec = rec
 	s.node.Ring().Network().Send(s.node.Endpoint(), to.EP, size,
-		simnet.ClassMaintenance, &pushMsg{Rec: rec})
+		simnet.ClassMaintenance, m)
 }
 
 // HandleMessage processes a protocol message; it reports whether the
@@ -224,7 +240,10 @@ func (s *Service) HandleMessage(payload any) bool {
 	if !ok {
 		return false
 	}
-	s.insert(m.Rec)
+	rec := m.Rec
+	m.Rec = nil
+	pushMsgPool.Put(m)
+	s.insert(rec)
 	return true
 }
 
@@ -240,10 +259,17 @@ func (s *Service) insert(rec *Record) {
 	if ok && cur.Version > rec.Version {
 		return
 	}
-	c := rec.clone()
 	// A push from the subject itself means it is up; a re-replication
 	// forward carries the sender's view, which we adopt only if newer.
-	s.store[rec.Subject] = c
+	// The stored record is receiver-owned (Up/DownSince are mutated
+	// locally), so an existing entry is overwritten in place rather than
+	// reallocated: steady-state pushes from a stable neighborhood then
+	// cost no allocation at all.
+	if ok {
+		*cur = *rec
+	} else {
+		s.store[rec.Subject] = rec.clone()
+	}
 }
 
 // HandleLeafsetChanged reacts to overlay membership changes around this
@@ -262,7 +288,7 @@ func (s *Service) HandleLeafsetChanged() {
 			added = append(added, ref)
 		}
 	}
-	sort.Slice(added, func(i, j int) bool { return added[i].ID.Less(added[j].ID) })
+	slices.SortFunc(added, func(a, b pastry.NodeRef) int { return a.ID.Cmp(b.ID) })
 	for id := range s.prevLeaf {
 		if _, ok := cur[id]; !ok {
 			// A neighbor left: if we replicate its metadata, note the time
@@ -325,8 +351,8 @@ func (s *Service) sortedRecords() []*Record {
 // nodes closest to subject.
 func (s *Service) localReplicaSet(subject ids.ID, k int) map[ids.ID]pastry.NodeRef {
 	cands := append(s.node.Leafset(), s.node.Ref())
-	sort.Slice(cands, func(i, j int) bool {
-		return subject.AbsDistance(cands[i].ID).Less(subject.AbsDistance(cands[j].ID))
+	slices.SortFunc(cands, func(a, b pastry.NodeRef) int {
+		return subject.AbsDistance(a.ID).Cmp(subject.AbsDistance(b.ID))
 	})
 	if len(cands) > k {
 		cands = cands[:k]

@@ -421,6 +421,12 @@ func (o *Obs) Tracer() *Tracer {
 // Tracing reports whether span events are being recorded.
 func (o *Obs) Tracing() bool { return o != nil && o.tr != nil }
 
+// Detail reports whether detail (verbose) trace events would be
+// recorded. Hot paths check it before building an EmitDetail argument:
+// the Event literal itself (query-ID formatting in particular) allocates,
+// and evaluating it on every routed message dominates untraced runs.
+func (o *Obs) Detail() bool { return o != nil && o.tr != nil && o.tr.Verbose }
+
 // BindClock installs the virtual clock used to timestamp trace events.
 // Each simulation run binds its own scheduler; rebinding is allowed (a
 // shared CLI-level Obs observes several sequential runs, each restarting

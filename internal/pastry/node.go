@@ -2,9 +2,8 @@ package pastry
 
 import (
 	"log"
+	"slices"
 	"time"
-
-	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/obs"
@@ -67,15 +66,23 @@ func (n *Node) Leafset() []NodeRef {
 // ReplicaSet returns the k leafset members numerically closest to the
 // node's own id — the metadata replica set of Seaweed §3.2.
 func (n *Node) ReplicaSet(k int) []NodeRef {
-	out := make([]NodeRef, len(n.leaf))
-	copy(out, n.leaf)
-	sort.Slice(out, func(i, j int) bool {
-		return n.id.AbsDistance(out[i].ID).Less(n.id.AbsDistance(out[j].ID))
+	return n.AppendReplicaSet(nil, k)
+}
+
+// AppendReplicaSet appends the replica set to dst and returns the
+// extended slice; callers on hot paths reuse dst across calls to avoid
+// the per-call allocation of ReplicaSet.
+func (n *Node) AppendReplicaSet(dst []NodeRef, k int) []NodeRef {
+	start := len(dst)
+	dst = append(dst, n.leaf...)
+	out := dst[start:]
+	slices.SortFunc(out, func(a, b NodeRef) int {
+		return n.id.AbsDistance(a.ID).Cmp(n.id.AbsDistance(b.ID))
 	})
 	if len(out) > k {
-		out = out[:k]
+		dst = dst[:start+k]
 	}
-	return out
+	return dst
 }
 
 // StartBootstrap brings the node up as part of the initial population,
@@ -201,8 +208,7 @@ func (n *Node) Route(key ids.ID, payload any, size int, class simnet.Class) {
 	if !n.alive {
 		return
 	}
-	env := &routeEnvelope{Key: key, Payload: payload, Size: size, Class: class}
-	n.forward(env, n.ep)
+	n.forward(n.ring.getEnv(key, payload, size, class), n.ep)
 }
 
 // forward advances an envelope one hop. origin is the endpoint of the
@@ -219,14 +225,19 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 			log.Printf("pastry: dropped route to %s at ep %d: hop limit %d exceeded",
 				env.Key.Short(), n.ep, maxHops)
 		}
+		n.ring.putEnv(env)
 		return
 	}
 	next, selfIsRoot := n.nextHop(env.Key)
 	if selfIsRoot {
 		n.ring.hHops.Observe(int64(env.Hops))
-		n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteDeliver,
-			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
-		n.app.Deliver(env.Key, origin, env.Payload)
+		if n.ring.o.Detail() {
+			n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteDeliver,
+				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
+		}
+		key, payload := env.Key, env.Payload
+		n.ring.putEnv(env)
+		n.app.Deliver(key, origin, payload)
 		return
 	}
 	env.Hops++
@@ -236,8 +247,10 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		// node removes the entry and reroutes — modeling MSPastry's
 		// per-hop ack timeout.
 		n.ring.cStale.Inc()
-		n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteRetry,
-			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
+		if n.ring.o.Detail() {
+			n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteRetry,
+				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
+		}
 		n.ring.net.AccountAggregate(n.ep, env.Class, size, 0)
 		n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
 			if !n.alive {
@@ -248,15 +261,17 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		})
 		return
 	}
-	wrapped := &hopMsg{Env: env, Origin: origin, Sender: n.Ref()}
-	n.ring.net.Send(n.ep, next.EP, size, env.Class, wrapped)
+	n.ring.net.Send(n.ep, next.EP, size, env.Class, n.ring.getHop(env, origin, n.Ref()))
 }
 
-// hopMsg is the per-hop wrapper carrying an envelope between nodes.
+// hopMsg is the per-hop wrapper carrying an envelope between nodes. The
+// wrappers are pooled on the Ring (see Ring.getHop/putHop); the receiving
+// node recycles one as soon as it has copied the fields out.
 type hopMsg struct {
 	Env    *routeEnvelope
 	Origin simnet.Endpoint
 	Sender NodeRef
+	next   *hopMsg // Ring free list
 }
 
 // nextHop picks the next hop for key using the classic Pastry rule, whose
@@ -372,8 +387,10 @@ func (n *Node) HandleMessage(from simnet.Endpoint, payload any) {
 	}
 	switch m := payload.(type) {
 	case *hopMsg:
-		n.learn(m.Sender)
-		n.forward(m.Env, m.Origin)
+		env, origin, sender := m.Env, m.Origin, m.Sender
+		n.ring.putHop(m)
+		n.learn(sender)
+		n.forward(env, origin)
 	case *joinRequest:
 		n.handleJoinRequest(m)
 	case *joinReply:
@@ -498,8 +515,8 @@ func (n *Node) setLeafset(cands []NodeRef) {
 	}
 	// Sort by clockwise distance from self: successors first,
 	// predecessors (large clockwise distance) last.
-	sort.Slice(all, func(i, j int) bool {
-		return n.id.Distance(all[i].ID).Less(n.id.Distance(all[j].ID))
+	slices.SortFunc(all, func(a, b NodeRef) int {
+		return n.id.Distance(a.ID).Cmp(n.id.Distance(b.ID))
 	})
 	lh := n.ring.cfg.LeafsetHalf
 	var leaf []NodeRef
@@ -509,7 +526,7 @@ func (n *Node) setLeafset(cands []NodeRef) {
 		leaf = append(leaf, all[:lh]...)          // l/2 successors
 		leaf = append(leaf, all[len(all)-lh:]...) // l/2 predecessors
 	}
-	sort.Slice(leaf, func(i, j int) bool { return leaf[i].ID.Less(leaf[j].ID) })
+	slices.SortFunc(leaf, func(a, b NodeRef) int { return a.ID.Cmp(b.ID) })
 	n.leaf = leaf
 }
 

@@ -113,13 +113,18 @@ const refBytes = ids.Bytes + 4
 // their contents; the structs themselves travel by pointer inside the
 // simulator.
 
-// routeEnvelope carries an application message toward a key.
+// routeEnvelope carries an application message toward a key. Envelopes
+// are pooled on the Ring: one is taken per Route call, travels the whole
+// multi-hop path inside hopMsg wrappers, and is recycled at the hop that
+// finally delivers (or drops) it. Envelopes lost in flight fall to the
+// garbage collector.
 type routeEnvelope struct {
 	Key     ids.ID
 	Payload any
 	Size    int // application payload wire size
 	Class   simnet.Class
 	Hops    int
+	next    *routeEnvelope // Ring free list
 }
 
 // envelopeOverhead is the wire overhead of one routing hop: key, flags,

@@ -38,6 +38,56 @@ type Ring struct {
 	cJoinRetry *obs.Counter   // pastry_join_retries
 	cHopDrops  *obs.Counter   // pastry_maxhops_drops
 	cJoinDrops *obs.Counter   // pastry_join_maxhops_drops
+
+	// hopFree is an intrusive free list of hopMsg wrappers: one is
+	// allocated per routing hop on the hottest message path, and the ring
+	// is single-threaded under its scheduler, so a plain list (no
+	// sync.Pool) recycles them. Wrappers lost in flight (message loss,
+	// dead receiver) simply fall to the garbage collector.
+	hopFree *hopMsg
+	envFree *routeEnvelope
+}
+
+// getEnv takes a routeEnvelope from the free list (or allocates one) and
+// fills it for a fresh route.
+func (r *Ring) getEnv(key ids.ID, payload any, size int, class simnet.Class) *routeEnvelope {
+	e := r.envFree
+	if e == nil {
+		e = &routeEnvelope{}
+	} else {
+		r.envFree = e.next
+	}
+	*e = routeEnvelope{Key: key, Payload: payload, Size: size, Class: class}
+	return e
+}
+
+// putEnv returns an envelope to the free list once its route has ended
+// (delivered or dropped).
+func (r *Ring) putEnv(e *routeEnvelope) {
+	e.Payload = nil
+	e.next = r.envFree
+	r.envFree = e
+}
+
+// getHop takes a hopMsg wrapper from the free list (or allocates one) and
+// fills it for the next hop.
+func (r *Ring) getHop(env *routeEnvelope, origin simnet.Endpoint, sender NodeRef) *hopMsg {
+	m := r.hopFree
+	if m == nil {
+		m = &hopMsg{}
+	} else {
+		r.hopFree = m.next
+	}
+	m.Env, m.Origin, m.Sender, m.next = env, origin, sender, nil
+	return m
+}
+
+// putHop returns a wrapper to the free list. Callers must copy out every
+// field they still need first.
+func (r *Ring) putHop(m *hopMsg) {
+	m.Env = nil
+	m.next = r.hopFree
+	r.hopFree = m
 }
 
 // NewRing creates an empty ring over the network.

@@ -3,8 +3,11 @@ package runner
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -77,6 +80,13 @@ type Config struct {
 	// OnProgress, when non-nil, is called after each emitted result with
 	// (emitted, total); it runs on the collecting goroutine.
 	OnProgress func(done, total int)
+	// ProfileDir, when non-empty, captures a CPU profile of every run to
+	// <ProfileDir>/run-<index>.pprof. The Go runtime supports a single
+	// active CPU profile per process, so setting it forces the execution
+	// serial (Workers is ignored). Profile I/O failures are reported to
+	// stderr, never as run failures: the profiling harness must not
+	// change a sweep's results.
+	ProfileDir string
 }
 
 // Report is the outcome of an engine execution.
@@ -157,6 +167,12 @@ func (st *Stats) add(rep *Report) {
 func Execute(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 	n := len(specs)
 	workers := cfg.Workers
+	if cfg.ProfileDir != "" {
+		if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: profile dir: %w", err)
+		}
+		workers = 1 // one CPU profile at a time
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -206,7 +222,7 @@ func Execute(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				done <- runOne(ctx, specs[i], i, SplitSeed(cfg.Seed, int64(i)))
+				done <- runOne(ctx, specs[i], i, SplitSeed(cfg.Seed, int64(i)), cfg.ProfileDir)
 			}
 		}()
 	}
@@ -286,8 +302,22 @@ func Execute(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 }
 
 // runOne executes a single run with panic isolation.
-func runOne(ctx context.Context, spec Spec, i int, seed int64) (res Result) {
+func runOne(ctx context.Context, spec Spec, i int, seed int64, profileDir string) (res Result) {
 	res = Result{Index: i, Name: spec.Name, Seed: seed}
+	if profileDir != "" {
+		path := filepath.Join(profileDir, fmt.Sprintf("run-%03d.pprof", i))
+		if f, err := os.Create(path); err != nil {
+			fmt.Fprintf(os.Stderr, "runner: run %d profile: %v\n", i, err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "runner: run %d profile: %v\n", i, err)
+			f.Close()
+		} else {
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+	}
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)

@@ -128,6 +128,10 @@ func (s *CSVSink) Close() error {
 }
 
 // BenchSummary is the perf summary written to BENCH_runner.json.
+// SpeedupVsSerial is only present for genuinely parallel executions
+// (workers > 1): a serial run has no parallel speedup to report, and
+// busy/wall at workers==1 merely measures engine overhead, which once
+// made a healthy serial sweep read as a 0.86× "regression".
 type BenchSummary struct {
 	Label           string  `json:"label"`
 	Workers         int     `json:"workers"`
@@ -135,9 +139,14 @@ type BenchSummary struct {
 	Failed          int     `json:"failed"`
 	WallNS          int64   `json:"wall_ns"`
 	BusyNS          int64   `json:"busy_ns"`
-	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
-	NumCPU          int     `json:"num_cpu"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// Events is the total scheduler events executed across all runs (from
+	// the sched_events counter); EventsPerSec is Events over the sweep
+	// wall-clock. Both are omitted when the caller has no event counts.
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	NumCPU       int     `json:"num_cpu"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 }
 
 // NewBenchSummary builds the summary from accumulated engine stats plus
@@ -156,9 +165,20 @@ func NewBenchSummary(label string, st *Stats, sweepWall time.Duration) BenchSumm
 		b.Runs = st.Runs
 		b.Failed = st.Failed
 		b.BusyNS = int64(st.Busy)
-		b.SpeedupVsSerial = st.Speedup()
+		if st.Workers > 1 {
+			b.SpeedupVsSerial = st.Speedup()
+		}
 	}
 	return b
+}
+
+// SetEvents records the total scheduler events executed across the sweep
+// and derives EventsPerSec from the summary's wall-clock time.
+func (b *BenchSummary) SetEvents(events uint64) {
+	b.Events = events
+	if b.WallNS > 0 && events > 0 {
+		b.EventsPerSec = float64(events) / (time.Duration(b.WallNS)).Seconds()
+	}
 }
 
 // WriteFile writes the summary as indented JSON to path.
@@ -189,15 +209,17 @@ func (s *BenchSink) Emit(Result) error { return nil }
 // Finish writes the summary for the completed execution.
 func (s *BenchSink) Finish(rep *Report) {
 	b := BenchSummary{
-		Label:           s.Label,
-		Workers:         rep.Workers,
-		Runs:            len(rep.Results),
-		Failed:          rep.Failed,
-		WallNS:          int64(rep.Elapsed),
-		BusyNS:          int64(rep.Busy),
-		SpeedupVsSerial: rep.Speedup(),
-		NumCPU:          runtime.NumCPU(),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Label:      s.Label,
+		Workers:    rep.Workers,
+		Runs:       len(rep.Results),
+		Failed:     rep.Failed,
+		WallNS:     int64(rep.Elapsed),
+		BusyNS:     int64(rep.Busy),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if rep.Workers > 1 {
+		b.SpeedupVsSerial = rep.Speedup()
 	}
 	s.err = b.WriteFile(s.Path)
 }

@@ -204,10 +204,17 @@ func (n *Network) Send(from, to Endpoint, size int, class Class, payload any) {
 		return
 	}
 	delay := n.Delay(from, to)
-	n.sched.At(now+delay, func() {
-		n.stats.accountRx(to, class, size, n.sched.Now())
-		if h := n.handlers[to]; h != nil {
-			h.HandleMessage(from, payload)
-		}
-	})
+	// Delivery is a pooled struct event (see scheduler.go): the steady-state
+	// message path allocates neither a closure nor a Timer.
+	n.sched.sendAt(now+delay, n, from, to, size, class, payload)
+}
+
+// deliver completes a Send at the receiver: reception accounting plus the
+// bound handler's upcall. Called by the scheduler when an evDeliver event
+// fires.
+func (n *Network) deliver(from, to Endpoint, size int, class Class, payload any) {
+	n.stats.accountRx(to, class, size, n.sched.now)
+	if h := n.handlers[to]; h != nil {
+		h.HandleMessage(from, payload)
+	}
 }

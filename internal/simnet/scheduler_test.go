@@ -172,3 +172,74 @@ func TestSchedulerRejectsConcurrentDrivers(t *testing.T) {
 		t.Fatal("scheduler unusable after concurrent-driver panic")
 	}
 }
+
+// TestEveryCancelFromWithinTick cancels a periodic timer from inside its
+// own tick callback. The cancel must win the race against the re-arm: no
+// further tick may fire, and the pooled event must not be resurrected.
+func TestEveryCancelFromWithinTick(t *testing.T) {
+	s := NewScheduler()
+	fires := 0
+	var tm *Timer
+	tm = s.Every(time.Second, func() {
+		fires++
+		if fires == 3 {
+			if !tm.Cancel() {
+				t.Fatal("Cancel from within tick returned false")
+			}
+		}
+	})
+	s.RunUntil(time.Minute)
+	if fires != 3 {
+		t.Fatalf("periodic fired %d times after in-tick cancel at 3, want exactly 3", fires)
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+}
+
+// TestEveryPeriodPreservation checks that re-arming keeps the exact period
+// over many firings (no drift, no skipped ticks) even when the period is
+// not a multiple of the wheel tick and the horizon spans many wheel
+// rotations.
+func TestEveryPeriodPreservation(t *testing.T) {
+	s := NewScheduler()
+	const period = 700*time.Millisecond + 137*time.Microsecond
+	var at []time.Duration
+	s.Every(period, func() { at = append(at, s.Now()) })
+	const horizon = 2 * time.Minute
+	s.RunUntil(horizon)
+	want := int(horizon / period)
+	if len(at) != want {
+		t.Fatalf("fired %d times over %v, want %d", len(at), horizon, want)
+	}
+	for i, got := range at {
+		if exp := time.Duration(i+1) * period; got != exp {
+			t.Fatalf("firing %d at %v, want %v (drift)", i, got, exp)
+		}
+	}
+}
+
+// TestRunUntilMidTickLeftovers is a regression test for deadline handling:
+// a RunUntil deadline that lands inside an occupied wheel tick must leave
+// the remaining same-tick events pending, and events scheduled afterwards
+// between the deadline and the leftovers must still fire in time order.
+func TestRunUntilMidTickLeftovers(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(1400*time.Microsecond, func() { order = append(order, "a") })
+	if n := s.RunUntil(1100 * time.Microsecond); n != 0 {
+		t.Fatalf("ran %d events before deadline, want 0", n)
+	}
+	if s.Now() != 1100*time.Microsecond {
+		t.Fatalf("now = %v, want deadline 1100µs", s.Now())
+	}
+	s.At(1200*time.Microsecond, func() { order = append(order, "b") })
+	s.At(500*time.Microsecond, func() { order = append(order, "c") }) // past: runs at now
+	s.RunUntil(2 * time.Millisecond)
+	if got, want := len(order), 3; got != want {
+		t.Fatalf("fired %d events, want %d (%v)", got, want, order)
+	}
+	if order[0] != "c" || order[1] != "b" || order[2] != "a" {
+		t.Fatalf("order = %v, want [c b a]", order)
+	}
+}
