@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke chaos-smoke obs-bench check clean
 
 all: check
 
@@ -54,6 +54,15 @@ profile:
 # exercises the engine, the sinks, and the bench summary end to end.
 sweep-smoke:
 	$(GO) run ./cmd/seaweed-sim -sweep -smoke -parallel 2 -bench BENCH_runner.json -out sweep-smoke
+
+# chaos-smoke is the CI fault-injection gate: every built-in chaos
+# scenario at smoke scale, each run judged by the always-on invariant
+# checker (exit 1 on any violation). Reports land in chaos-<name>.json.
+chaos-smoke:
+	@for s in partition burstloss flap mixed; do \
+		echo "== chaos $$s =="; \
+		$(GO) run ./cmd/seaweed-sim -chaos $$s -smoke -out chaos-$$s || exit 1; \
+	done
 
 # obs-bench measures the cost of the default-on observability layer
 # (must stay under 5%).

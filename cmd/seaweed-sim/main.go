@@ -13,6 +13,14 @@
 //	seaweed-sim -sweep -out results             # also write results.jsonl/.csv records
 //	seaweed-sim -sweep -bench BENCH_runner.json # emit the engine perf summary
 //	seaweed-sim -fig 5 -trace t.jsonl -metrics  # with query trace + metrics summary
+//	seaweed-sim -chaos mixed                    # fault-injection run + invariant report
+//	seaweed-sim -chaos mixed -smoke -out rep    # CI variant, report JSON to rep.json
+//	seaweed-sim -chaos mixed -ablate backoff    # ablation: expect invariant failures
+//
+// -chaos runs a scripted fault scenario (partition, burstloss, flap,
+// mixed) against an always-on invariant checker and prints the chaos
+// report; the exit status is 1 when any invariant failed. The report is
+// byte-deterministic for a given scenario and seed.
 //
 // -parallel N fans independent simulation runs across N workers of the
 // deterministic engine (0 = all cores); results are byte-identical at any
@@ -31,7 +39,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -39,6 +49,8 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2, 5, 6, 7, 8, 9a, 9b, 9c, 9d, 10")
 	ablation := flag.String("ablation", "", "ablation to run: arity, predictor, histogram, push, replicas, deltapush")
+	chaos := flag.String("chaos", "", "chaos scenario to run: partition, burstloss, flap, mixed")
+	ablate := flag.String("ablate", "", "with -chaos: disable a hardening mechanism (backoff, repair)")
 	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
 	all := flag.Bool("all", false, "run every simulation figure")
 	sweep := flag.Bool("sweep", false, "run the Figures 5–8 completeness sweep through the parallel engine")
@@ -206,7 +218,53 @@ func main() {
 		fmt.Fprintf(w, "# (figure %s computed in %v)\n\n", name, time.Since(figStart).Round(time.Millisecond))
 	}
 
+	runChaos := func(name string) bool {
+		scen, ok := fault.Builtin(name, *smoke)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (have %v)\n", name, fault.BuiltinNames())
+			os.Exit(2)
+		}
+		cfg := core.ChaosConfig{Scenario: scen, Seed: *seed}
+		if *smoke {
+			cfg.N = 60
+			cfg.Settle = 5 * time.Minute
+		}
+		switch *ablate {
+		case "":
+		case "backoff":
+			cfg.DisableDissemBackoff = true
+		case "repair":
+			cfg.DisableAggRepair = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q (have: backoff, repair)\n", *ablate)
+			os.Exit(2)
+		}
+		if traceSink != nil {
+			cfg.TraceSink = traceSink
+		}
+		rep := core.RunChaos(cfg)
+		rep.WriteText(w)
+		if *outPrefix != "" {
+			j, err := rep.JSON()
+			if err == nil {
+				err = os.WriteFile(*outPrefix+".json", append(j, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: writing chaos report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return rep.OK()
+	}
+
 	switch {
+	case *chaos != "":
+		ok := runChaos(*chaos)
+		finish()
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	case *sweep:
 		runSweep()
 	case *ablation != "":

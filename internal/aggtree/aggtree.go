@@ -60,6 +60,11 @@ type Config struct {
 	// canceled"). The paper terminates its evaluation queries after 48
 	// hours. 0 disables expiry.
 	QueryTTL time.Duration
+	// DisableRepair turns off churn repair: leafset-change takeovers /
+	// state pushes and the periodic refresh re-propagation. Ablation
+	// only: it exists so the chaos invariant checker can demonstrate that
+	// aggregate state stranded by crashes is otherwise lost.
+	DisableRepair bool
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -125,6 +130,23 @@ func (v *vertexState) aggregate() (agg.Partial, int64) {
 	return part, contributors
 }
 
+// resubmitState tracks the bounded re-assertion schedule for this
+// endsystem's own contribution to one query.
+type resubmitState struct {
+	timer   *simnet.Timer
+	attempt int
+	version uint64
+}
+
+const (
+	// The leaf re-assertion schedule: re-send the contribution 20s, 1m,
+	// 3m and 9m after the original submission, then stop. Bounded so a
+	// long-lived query costs a handful of extra messages, not a periodic
+	// stream for its whole TTL.
+	resubmitBase     = 20 * time.Second
+	resubmitAttempts = 4
+)
+
 // queryInfo is what the engine needs to know about an active query.
 type queryInfo struct {
 	query     *relq.Query
@@ -149,6 +171,9 @@ type Engine struct {
 	// keeps each endsystem's contribution counted exactly once even when
 	// leafset changes would now suggest a different entry point.
 	entryVertex map[ids.ID]ids.ID
+	// resubmit holds the live re-assertion timer per query (volatile: a
+	// restart drops it, and the rejoin path's fresh Submit re-arms it).
+	resubmit map[ids.ID]*resubmitState
 
 	// Observability handles, cached at construction (nil-safe no-ops when
 	// disabled).
@@ -158,6 +183,7 @@ type Engine struct {
 	cDups      *obs.Counter   // aggtree_dup_contributions
 	cTakeovers *obs.Counter   // aggtree_takeovers
 	cRefresh   *obs.Counter   // aggtree_refresh_repairs
+	cResubmit  *obs.Counter   // aggtree_resubmits
 	hDepth     *obs.Histogram // aggtree_entry_depth
 }
 
@@ -174,6 +200,7 @@ func NewEngine(host Host, cfg Config) *Engine {
 		queries:     make(map[ids.ID]*queryInfo),
 		submitted:   make(map[ids.ID]*contribution),
 		entryVertex: make(map[ids.ID]ids.ID),
+		resubmit:    make(map[ids.ID]*resubmitState),
 
 		o:          o,
 		cSubmits:   o.Counter("aggtree_submissions"),
@@ -181,6 +208,7 @@ func NewEngine(host Host, cfg Config) *Engine {
 		cDups:      o.Counter("aggtree_dup_contributions"),
 		cTakeovers: o.Counter("aggtree_takeovers"),
 		cRefresh:   o.Counter("aggtree_refresh_repairs"),
+		cResubmit:  o.Counter("aggtree_resubmits"),
 		hDepth:     o.Histogram("aggtree_entry_depth"),
 	}
 }
@@ -199,6 +227,12 @@ func (e *Engine) Reset() {
 	}
 	e.vertices = make(map[vertexKey]*vertexState)
 	e.queries = make(map[ids.ID]*queryInfo)
+	for _, st := range e.resubmit {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	e.resubmit = make(map[ids.ID]*resubmitState)
 }
 
 // RegisterQuery tells the engine about an active query (from the
@@ -215,6 +249,12 @@ func (e *Engine) RegisterQuery(qid ids.ID, q *relq.Query, injector simnet.Endpoi
 func (e *Engine) Cancel(qid ids.ID) {
 	if info, ok := e.queries[qid]; ok {
 		info.canceled = true
+	}
+	if st, ok := e.resubmit[qid]; ok {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		delete(e.resubmit, qid)
 	}
 	for key, v := range e.vertices {
 		if key.qid == qid {
@@ -335,6 +375,47 @@ func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector si
 			EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
 	}
 	e.sendSubmission(qid, *c)
+	e.armResubmit(qid, c.Version, 0)
+}
+
+// armResubmit schedules a bounded, backed-off re-assertion of this
+// endsystem's own contribution. The single routed submitMsg is the only
+// copy of the contribution until a vertex primary replicates it; a drop
+// during a burst or partition would otherwise lose those rows for the
+// whole life of the query — vertex repair cannot resurrect state that
+// never arrived anywhere. Re-sending the same version is idempotent at
+// the vertex (applySubmit drops it as a duplicate), so the exactly-once
+// invariant is untouched. A newer Submit restarts the chain with its own
+// version; the stale chain detects the version change and stops.
+func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int) {
+	if prev := e.resubmit[qid]; prev != nil && prev.timer != nil {
+		prev.timer.Cancel()
+	}
+	if e.cfg.DisableRepair || attempt >= resubmitAttempts {
+		delete(e.resubmit, qid)
+		return
+	}
+	delay := resubmitBase
+	for i := 0; i < attempt; i++ {
+		delay *= 3
+	}
+	node := e.host.PastryNode()
+	st := &resubmitState{attempt: attempt, version: version}
+	st.timer = node.Ring().Scheduler().After(delay, func() {
+		if cur := e.resubmit[qid]; cur != st {
+			return
+		}
+		delete(e.resubmit, qid)
+		c := e.submitted[qid]
+		if c == nil || c.Version != st.version || !node.Alive() ||
+			e.expired(e.queries[qid]) {
+			return
+		}
+		e.cResubmit.Inc()
+		e.sendSubmission(qid, *c)
+		e.armResubmit(qid, st.version, st.attempt+1)
+	})
+	e.resubmit[qid] = st
 }
 
 // sendSubmission routes this endsystem's contribution to its entry vertex:
@@ -547,9 +628,11 @@ func (e *Engine) backupSet(vertex ids.ID) []pastry.NodeRef {
 
 // armRefresh schedules periodic re-propagation for a vertex. Ordinarily a
 // tick is a no-op: it re-propagates only state that changed without
-// reaching the parent (a lost message). Every sixth tick re-propagates
+// reaching the parent (a lost message). Every third tick re-propagates
 // unconditionally as a safety net against losses the dirty flag cannot
-// see (e.g. the parent's replica group lost the aggregate wholesale).
+// see: forwardUp clears dirty optimistically, so a dropped vertex-to-
+// parent message — or a parent replica group that lost the aggregate
+// wholesale — is only ever recovered by this pass.
 func (e *Engine) armRefresh(v *vertexState) {
 	if e.cfg.RefreshPeriod <= 0 {
 		return
@@ -571,11 +654,14 @@ func (e *Engine) armRefresh(v *vertexState) {
 			delete(e.vertices, v.key)
 			return
 		}
+		if e.cfg.DisableRepair {
+			return
+		}
 		if !node.IsRootOf(v.key.vertex) || len(v.children) == 0 {
 			return
 		}
 		v.primary = true
-		if v.dirty || tick%6 == 0 {
+		if v.dirty || tick%3 == 0 {
 			// Re-assert the aggregate upward; replication to backups is
 			// handled by the update and membership-change paths.
 			if v.dirty {
@@ -591,7 +677,7 @@ func (e *Engine) armRefresh(v *vertexState) {
 // shifted) re-propagates from the replicated state.
 func (e *Engine) HandleLeafsetChanged() {
 	node := e.host.PastryNode()
-	if !node.Alive() {
+	if !node.Alive() || e.cfg.DisableRepair {
 		return
 	}
 	for _, v := range e.sortedVertices() {
@@ -682,6 +768,20 @@ func (e *Engine) sortedVertices() []*vertexState {
 
 // NumVertices reports how many vertex states this endsystem holds.
 func (e *Engine) NumVertices() int { return len(e.vertices) }
+
+// OrphanVertices reports how many vertex states this endsystem holds for
+// queries that are expired or canceled — state the refresh path should
+// have reclaimed. The chaos invariant checker asserts this reaches zero
+// after every query's TTL plus a few refresh periods.
+func (e *Engine) OrphanVertices() int {
+	n := 0
+	for key := range e.vertices {
+		if e.expired(e.queries[key.qid]) {
+			n++
+		}
+	}
+	return n
+}
 
 func cloneChildren(m map[ids.ID]contribution) map[ids.ID]contribution {
 	out := make(map[ids.ID]contribution, len(m))

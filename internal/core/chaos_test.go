@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestChaosMixedSmokePasses is the headline robustness test: the full
+// mixed scenario (jitter, spikes, duplication, two correlated crash
+// cohorts, a region partition and a burst-loss episode layered over it)
+// must pass every invariant, and the query must demonstrably recover to
+// 100% completeness after the final heal.
+func TestChaosMixedSmokePasses(t *testing.T) {
+	s, ok := fault.Builtin("mixed", true)
+	if !ok {
+		t.Fatal("mixed scenario missing")
+	}
+	r := RunChaos(ChaosConfig{Scenario: s, N: 60, Seed: 1, Settle: 5 * time.Minute})
+	if !r.OK() {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		t.Fatalf("mixed-smoke chaos failed:\n%s", buf.String())
+	}
+	if len(r.Queries) != 1 {
+		t.Fatalf("expected one query verdict, got %d", len(r.Queries))
+	}
+	q := r.Queries[0]
+	if q.FinalCompleteness != 1.0 {
+		t.Fatalf("final completeness %.3f, want 1.0", q.FinalCompleteness)
+	}
+	if !q.RecoveredAfterHeal {
+		t.Fatalf("query did not exercise recovery: %.1f%% at heal, %.1f%% at end",
+			100*q.CompletenessAtHeal, 100*q.FinalCompleteness)
+	}
+	if len(r.Injections) != len(s.Injections) {
+		t.Fatalf("%d of %d injections executed", len(r.Injections), len(s.Injections))
+	}
+}
+
+// TestChaosBuiltinsPass runs the remaining built-in smoke scenarios.
+func TestChaosBuiltinsPass(t *testing.T) {
+	for _, name := range fault.BuiltinNames() {
+		if name == "mixed" {
+			continue // covered above with stronger assertions
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _ := fault.Builtin(name, true)
+			r := RunChaos(ChaosConfig{Scenario: s, N: 60, Seed: 1, Settle: 5 * time.Minute})
+			if !r.OK() {
+				var buf bytes.Buffer
+				r.WriteText(&buf)
+				t.Fatalf("%s chaos failed:\n%s", name, buf.String())
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic: the same (scenario, seed) must produce a
+// byte-identical report — the property that makes chaos failures
+// replayable.
+func TestChaosDeterministic(t *testing.T) {
+	s, _ := fault.Builtin("mixed", true)
+	run := func() []byte {
+		r := RunChaos(ChaosConfig{Scenario: s, N: 60, Seed: 1, Settle: 5 * time.Minute})
+		j, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ between identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestChaosAblations: removing either hardening mechanism must make the
+// checker fail — proof the invariants have teeth and the mechanisms are
+// load-bearing.
+func TestChaosAblations(t *testing.T) {
+	s, _ := fault.Builtin("mixed", true)
+	base := ChaosConfig{Scenario: s, N: 60, Seed: 1, Settle: 5 * time.Minute}
+
+	t.Run("no-dissem-backoff", func(t *testing.T) {
+		cfg := base
+		cfg.DisableDissemBackoff = true
+		if r := RunChaos(cfg); r.OK() {
+			t.Fatal("chaos passed with dissemination backoff disabled; the ablation has no teeth")
+		}
+	})
+	t.Run("no-aggtree-repair", func(t *testing.T) {
+		cfg := base
+		cfg.DisableAggRepair = true
+		if r := RunChaos(cfg); r.OK() {
+			t.Fatal("chaos passed with aggregation-tree repair disabled; the ablation has no teeth")
+		}
+	})
+}

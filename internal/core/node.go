@@ -40,6 +40,9 @@ type Node struct {
 
 	// resultSinks receives incremental results for queries injected here.
 	resultSinks map[ids.ID]func(agg.Partial, int64)
+	// prevLeaf is the leafset membership at the last LeafsetChanged
+	// upcall, for detecting additions (see pullFromNewNeighbors).
+	prevLeaf map[simnet.Endpoint]bool
 	// executed tracks queries already run locally in this uptime session.
 	executed map[ids.ID]bool
 	// lastSubmitted remembers the last partial submitted per query, so
@@ -90,6 +93,7 @@ func NewNode(ring *pastry.Ring, ep simnet.Endpoint, id ids.ID,
 		tables:           make(map[string]*relq.Table, len(tables)),
 		model:            model,
 		resultSinks:      make(map[ids.ID]func(agg.Partial, int64)),
+		prevLeaf:         make(map[simnet.Endpoint]bool),
 		executed:         make(map[ids.ID]bool),
 		lastSubmitted:    make(map[ids.ID]agg.Partial),
 		contTimers:       make(map[ids.ID]*simnet.Timer),
@@ -104,7 +108,13 @@ func NewNode(ring *pastry.Ring, ep simnet.Endpoint, id ids.ID,
 	// other RNG consumers (cfg.Seed is already SplitSeed-derived per node).
 	n.meta = metadata.NewService(n.pn, cfg.Meta, runner.SplitSeed(cfg.Seed, int64(ep)))
 	n.meta.SetLocalMetadata(n.summary, n.model)
-	n.dis = dissem.NewEngine(n, cfg.Dissem)
+	disCfg := cfg.Dissem
+	if disCfg.Seed == 0 {
+		// A negative stream cannot collide with the per-endpoint streams
+		// the metadata service draws from the same node seed.
+		disCfg.Seed = runner.SplitSeed(cfg.Seed, -2)
+	}
+	n.dis = dissem.NewEngine(n, disCfg)
 	n.tree = aggtree.NewEngine(n, cfg.Agg)
 	n.pn.OnReady = n.onReady
 	return n
@@ -259,6 +269,33 @@ func (n *Node) Deliver(key ids.ID, from simnet.Endpoint, payload any) {
 func (n *Node) LeafsetChanged() {
 	n.meta.HandleLeafsetChanged()
 	n.tree.HandleLeafsetChanged()
+	n.pullFromNewNeighbors()
+}
+
+// pullFromNewNeighbors extends the joiner's active-query handoff to
+// leafset additions: when a previously unreachable member (re)appears —
+// a healed partition being the important case, where neither side ever
+// restarted and so never ran the join-time pull — both sides ask their
+// new neighbors for the active query list, letting endsystems that
+// missed a dissemination while cut off contribute their rows after all.
+func (n *Node) pullFromNewNeighbors() {
+	if !n.pn.Alive() {
+		return
+	}
+	leaf := n.pn.Leafset()
+	sent := 0
+	for _, m := range leaf {
+		if !n.prevLeaf[m.EP] && sent < 3 {
+			n.pn.Ring().Network().Send(n.pn.Endpoint(), m.EP, ids.Bytes+8,
+				simnet.ClassQuery, &queryListPull{From: n.pn.Endpoint()})
+			sent++
+		}
+	}
+	next := make(map[simnet.Endpoint]bool, len(leaf))
+	for _, m := range leaf {
+		next[m.EP] = true
+	}
+	n.prevLeaf = next
 }
 
 // GoUp brings the endsystem online (a trace up-transition): the
@@ -278,6 +315,12 @@ func (n *Node) GoUp() {
 	n.dis.Reset()
 	n.tree.Reset()
 	n.executed = make(map[ids.ID]bool)
+	// Forget the last-submitted dedup too: the entry vertex (or its whole
+	// replica group) may have died while this endsystem was down, so the
+	// rejoin re-execution must re-assert the contribution even when the
+	// local result is unchanged. The tree's versioned replacement keeps
+	// the re-assertion exactly-once.
+	n.lastSubmitted = make(map[ids.ID]agg.Partial)
 	for _, t := range n.contTimers {
 		t.Cancel()
 	}

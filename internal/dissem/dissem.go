@@ -17,6 +17,7 @@
 package dissem
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/ids"
@@ -34,16 +35,39 @@ type Config struct {
 	// the tree as binary and implements it 2^b-ary (16); both are
 	// supported for the ablation benchmarks.
 	Arity int
-	// ResponseTimeout is how long a parent waits for a subrange's
-	// aggregated predictor before reissuing the request.
+	// ResponseTimeout is the base response timeout: how long a parent
+	// waits for a subrange's aggregated predictor before reissuing the
+	// request when it has no RTT observations yet. Once responses have
+	// been observed, the initial timeout adapts to srtt + 4·rttvar
+	// (clamped to [MinTimeout, ResponseTimeout]).
 	ResponseTimeout time.Duration
 	// MaxRetries bounds reissues per subrange.
 	MaxRetries int
+	// BackoffCap caps the per-attempt reissue timeout grown by the
+	// decorrelated-jitter exponential backoff (default 4 minutes). The
+	// total retry window — the longest transient outage a dissemination
+	// survives — is roughly the sum of the capped attempt timeouts.
+	BackoffCap time.Duration
+	// MinTimeout floors the adaptive initial timeout (default 1s).
+	MinTimeout time.Duration
+	// Seed drives the reissue jitter.
+	Seed int64
+	// DisableBackoff reverts reissues to the fixed
+	// ResponseTimeout × MaxRetries schedule. Ablation only: it exists so
+	// the chaos invariant checker can demonstrate that fixed timeouts
+	// lose subranges across outages the backoff schedule survives.
+	DisableBackoff bool
 }
 
 // DefaultConfig returns the paper's configuration: 16-ary subdivision.
 func DefaultConfig() Config {
-	return Config{Arity: 16, ResponseTimeout: 5 * time.Second, MaxRetries: 3}
+	return Config{
+		Arity:           16,
+		ResponseTimeout: 5 * time.Second,
+		MaxRetries:      3,
+		BackoffCap:      4 * time.Minute,
+		MinTimeout:      time.Second,
+	}
 }
 
 // Host is the embedding Seaweed node: the engine calls back into it for
@@ -68,11 +92,18 @@ type Host interface {
 type Engine struct {
 	cfg   Config
 	host  Host
+	rng   *rand.Rand
 	tasks map[taskKey]*task
 	// waiting holds injector-side callbacks keyed by queryId, with the
 	// injection instant for predictor-latency accounting.
-	waiting map[ids.ID]pendingInject
+	waiting map[ids.ID]*pendingInject
 	seen    map[ids.ID]bool // queries already passed to QueryObserved
+
+	// Smoothed subrange response time and its mean deviation (Jacobson),
+	// sampled from unretried subrange responses per Karn's rule. They set
+	// the RTT-aware floor and adaptive initial value of reissue timeouts.
+	srtt   time.Duration
+	rttvar time.Duration
 
 	// Observability handles, cached at construction (nil-safe no-ops when
 	// disabled).
@@ -81,14 +112,19 @@ type Engine struct {
 	cRangeMsgs *obs.Counter   // dissem_range_msgs
 	cReissues  *obs.Counter   // dissem_reissues
 	cAbandoned *obs.Counter   // dissem_abandoned
+	cGiveups   *obs.Counter   // dissem_giveups
 	cOnBehalf  *obs.Counter   // dissem_onbehalf_predictions
 	hPredLat   *obs.Histogram // dissem_predictor_latency_ns
 }
 
 // pendingInject is one injector-side query awaiting its predictor.
 type pendingInject struct {
-	cb func(*predictor.Predictor)
-	at time.Duration
+	cb          func(*predictor.Predictor)
+	at          time.Duration
+	query       *relq.Query
+	attempts    int
+	lastTimeout time.Duration
+	timer       *simnet.Timer
 }
 
 // DebugContribute, when non-nil, observes every on-behalf-of contribution
@@ -104,8 +140,9 @@ func NewEngine(host Host, cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		host:    host,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		tasks:   make(map[taskKey]*task),
-		waiting: make(map[ids.ID]pendingInject),
+		waiting: make(map[ids.ID]*pendingInject),
 		seen:    make(map[ids.ID]bool),
 
 		o:          o,
@@ -113,16 +150,24 @@ func NewEngine(host Host, cfg Config) *Engine {
 		cRangeMsgs: o.Counter("dissem_range_msgs"),
 		cReissues:  o.Counter("dissem_reissues"),
 		cAbandoned: o.Counter("dissem_abandoned"),
+		cGiveups:   o.Counter("dissem_giveups"),
 		cOnBehalf:  o.Counter("dissem_onbehalf_predictions"),
 		hPredLat:   o.DurationHistogram("dissem_predictor_latency_ns"),
 	}
 }
 
-// Reset clears all per-query state (the endsystem restarted).
+// Reset clears all per-query state (the endsystem restarted). Stale
+// retry timers recognize the replaced maps and fall through.
 func (e *Engine) Reset() {
+	for _, p := range e.waiting {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+	}
 	e.tasks = make(map[taskKey]*task)
-	e.waiting = make(map[ids.ID]pendingInject)
+	e.waiting = make(map[ids.ID]*pendingInject)
 	e.seen = make(map[ids.ID]bool)
+	e.srtt, e.rttvar = 0, 0
 }
 
 // QueryID derives the queryId for a query injected at the given virtual
@@ -143,12 +188,45 @@ func (e *Engine) Inject(q *relq.Query, onPredictor func(*predictor.Predictor)) i
 	node := e.host.PastryNode()
 	now := node.Ring().Scheduler().Now()
 	qid := QueryID(q, now)
-	e.waiting[qid] = pendingInject{cb: onPredictor, at: now}
+	p := &pendingInject{cb: onPredictor, at: now, query: q}
+	e.waiting[qid] = p
 	e.cInjects.Inc()
 	e.o.Emit(obs.Event{Kind: obs.KindInject, Query: qid.Short(), EP: int(node.Endpoint())})
 	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint()}
 	node.Route(qid, msg, startMsgSize(q), simnet.ClassQuery)
+	e.armInjectRetry(qid, p)
 	return qid
+}
+
+// armInjectRetry schedules retransmission of the injector-to-root start
+// message. The start message previously had no delivery guarantee at all:
+// losing it killed the whole query silently. Retries follow the same
+// adaptive backoff as subrange reissues; the root deduplicates by task
+// key and re-answers finished tasks from cache, so retransmission never
+// double-counts. After 2×MaxRetries unanswered attempts the query is
+// given up as a whole-namespace loss.
+func (e *Engine) armInjectRetry(qid ids.ID, p *pendingInject) {
+	node := e.host.PastryNode()
+	if p.attempts > 2*e.cfg.MaxRetries {
+		e.cGiveups.Inc()
+		e.o.Emit(obs.Event{Kind: obs.KindDissemGiveup, Query: qid.Short(),
+			EP: int(node.Endpoint()), N: int64(p.attempts), V: 1.0})
+		return
+	}
+	d := e.attemptTimeout(p.attempts, p.lastTimeout)
+	p.lastTimeout = d
+	p.timer = node.Ring().Scheduler().After(d, func() {
+		if e.waiting[qid] != p || !node.Alive() {
+			return
+		}
+		p.attempts++
+		e.cReissues.Inc()
+		e.o.Emit(obs.Event{Kind: obs.KindDissemRetry, Query: qid.Short(),
+			EP: int(node.Endpoint()), N: int64(p.attempts)})
+		msg := &startMsg{QueryID: qid, Query: p.query, Injector: node.Endpoint()}
+		node.Route(qid, msg, startMsgSize(p.query), simnet.ClassQuery)
+		e.armInjectRetry(qid, p)
+	})
 }
 
 // --------------------------------------------------------------- messages
@@ -204,11 +282,13 @@ type taskKey struct {
 }
 
 type subrange struct {
-	lo, hi  ids.ID
-	local   bool // handled by local recursion, not a network child
-	done    bool
-	retries int
-	timer   *simnet.Timer
+	lo, hi      ids.ID
+	local       bool // handled by local recursion, not a network child
+	done        bool
+	retries     int
+	sentAt      time.Duration // when the latest request went out
+	lastTimeout time.Duration // timeout armed for the latest request
+	timer       *simnet.Timer
 }
 
 type task struct {
@@ -246,6 +326,9 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 	case *predictorMsg:
 		if p, ok := e.waiting[m.QueryID]; ok {
 			delete(e.waiting, m.QueryID)
+			if p.timer != nil {
+				p.timer.Cancel()
+			}
 			node := e.host.PastryNode()
 			e.hPredLat.ObserveDuration(node.Ring().Scheduler().Now() - p.at)
 			e.o.Emit(obs.Event{Kind: obs.KindPredict, Query: m.QueryID.Short(),
@@ -385,21 +468,124 @@ func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 }
 
 // sendSubrange routes the request for one subrange toward its midpoint and
-// arms the response timeout.
+// arms the response timeout for the current attempt. Reissues retarget a
+// random point inside the subrange instead of the midpoint: the midpoint
+// always resolves to the same delegate, so when that delegate is dead or
+// partitioned, every retry would sail into the same hole. A fresh target
+// likely resolves to a different responsible node, which can then
+// disseminate the subrange itself. Duplicate delegates are harmless — the
+// parent counts the first response only, and endsystems deduplicate query
+// execution — so route diversity costs at most some extra traffic on
+// already-failing paths.
 func (e *Engine) sendSubrange(t *task, s *subrange) {
 	node := e.host.PastryNode()
 	msg := &rangeMsg{QueryID: t.key.qid, Query: t.query, Lo: s.lo, Hi: s.hi,
 		Parent: node.Endpoint(), Injector: t.injector}
 	e.cRangeMsgs.Inc()
-	node.Route(ids.Midpoint(s.lo, s.hi), msg, rangeMsgSize(t.query), simnet.ClassQuery)
-	s.timer = node.Ring().Scheduler().After(e.cfg.ResponseTimeout, func() {
+	// Arm the attempt state BEFORE routing: Route can deliver locally and
+	// answer synchronously (a self-routed midpoint resolving to a leaf),
+	// and the response path reads sentAt for the RTT sample and cancels
+	// the timer.
+	sched := node.Ring().Scheduler()
+	s.sentAt = sched.Now()
+	s.lastTimeout = e.attemptTimeout(s.retries, s.lastTimeout)
+	s.timer = sched.After(s.lastTimeout, func() {
 		e.subrangeTimeout(t, s)
 	})
+	target := ids.Midpoint(s.lo, s.hi)
+	if s.retries > 0 {
+		target = ids.RandomInRange(e.rng, s.lo, s.hi)
+	}
+	node.Route(target, msg, rangeMsgSize(t.query), simnet.ClassQuery)
+}
+
+// attemptTimeout returns the response timeout for an attempt (attempt 0 is
+// the initial send). The initial timeout adapts to observed response
+// latency — srtt + 4·rttvar, clamped to [MinTimeout, ResponseTimeout] —
+// and reissues back off exponentially with jitter (uniform in
+// [2·previous, 3·previous], capped at BackoffCap): the factor-2 lower
+// bound guarantees the retry window at least doubles every attempt, so a
+// bounded retry budget provably spans multi-minute outages, while the
+// jitter band decorrelates simultaneous reissues instead of letting them
+// thunder in lockstep. The adaptive floor never drops a timeout below the
+// observed response latency. DisableBackoff reverts to the fixed
+// ResponseTimeout (ablation only).
+func (e *Engine) attemptTimeout(attempt int, prev time.Duration) time.Duration {
+	base := e.cfg.ResponseTimeout
+	if e.cfg.DisableBackoff {
+		return base
+	}
+	floor := e.rtoFloor()
+	initial := base
+	if floor > 0 && floor < initial {
+		initial = floor
+	}
+	if min := e.cfg.MinTimeout; min > 0 && initial < min {
+		initial = min
+	}
+	if attempt == 0 {
+		return initial
+	}
+	cap := e.cfg.BackoffCap
+	if cap <= 0 {
+		cap = 4 * time.Minute
+	}
+	lo, hi := 2*float64(prev), 3*float64(prev)
+	if min := float64(initial); lo < min {
+		lo = min
+	}
+	if hi < lo {
+		hi = lo
+	}
+	d := time.Duration(lo + e.rng.Float64()*(hi-lo))
+	if d > cap {
+		d = cap
+	}
+	if floor > 0 && d < floor {
+		d = floor
+	}
+	return d
+}
+
+// rtoFloor returns the RTT-aware timeout floor (0 before any sample).
+func (e *Engine) rtoFloor() time.Duration {
+	if e.srtt <= 0 {
+		return 0
+	}
+	return e.srtt + 4*e.rttvar
+}
+
+// observeRTT folds one subrange response latency into the smoothed
+// estimators (Jacobson/Karels gains: 1/8 for srtt, 1/4 for rttvar).
+func (e *Engine) observeRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt, e.rttvar = sample, sample/2
+		return
+	}
+	delta := sample - e.srtt
+	if delta < 0 {
+		delta = -delta
+	}
+	e.rttvar += (delta - e.rttvar) / 4
+	e.srtt += (sample - e.srtt) / 8
+}
+
+// rangeFraction returns the fraction of the 128-bit identifier namespace
+// the inclusive range [lo, hi] covers.
+func rangeFraction(lo, hi ids.ID) float64 {
+	const two64 = 18446744073709551616.0 // 2^64
+	span := hi.Sub(lo)
+	return float64(span.Hi)/two64 + float64(span.Lo)/(two64*two64)
 }
 
 // subrangeTimeout reissues an unanswered subrange request, or gives up
 // after MaxRetries (the contribution is then missing from the predictor —
-// the paper's "with high probability" caveat).
+// the paper's "with high probability" caveat — and, worse, endsystems in
+// the subrange never observe the query; the giveup event makes that loss
+// visible and attributable).
 func (e *Engine) subrangeTimeout(t *task, s *subrange) {
 	if s.done || t.finished || !e.host.PastryNode().Alive() {
 		return
@@ -410,6 +596,10 @@ func (e *Engine) subrangeTimeout(t *task, s *subrange) {
 		e.cAbandoned.Inc()
 		e.o.Emit(obs.Event{Kind: obs.KindDissemAbandon, Query: t.key.qid.Short(),
 			EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries)})
+		e.cGiveups.Inc()
+		e.o.Emit(obs.Event{Kind: obs.KindDissemGiveup, Query: t.key.qid.Short(),
+			EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries),
+			V: rangeFraction(s.lo, s.hi)})
 		e.maybeFinish(t)
 		return
 	}
@@ -437,6 +627,11 @@ func (e *Engine) handleResp(m *rangeResp) {
 				s.done = true
 				if s.timer != nil {
 					s.timer.Cancel()
+				}
+				if s.retries == 0 && !s.local {
+					// Karn's rule: only unretried responses are unambiguous
+					// latency samples.
+					e.observeRTT(e.host.PastryNode().Ring().Scheduler().Now() - s.sentAt)
 				}
 				t.acc.Merge(m.Pred)
 				t.open--

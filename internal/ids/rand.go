@@ -1,12 +1,32 @@
 package ids
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
 // Random returns a uniformly random identifier drawn from rng. Seaweed's
 // simulations assign endsystemIds this way; determinism follows from the
 // caller's seed.
 func Random(rng *rand.Rand) ID {
 	return ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+}
+
+// RandomInRange returns a random identifier in the inclusive range
+// [lo, hi], uniform to within 2⁻⁶⁴ of the range span: the point is
+// lo + ⌊span·f⌋ for a 64-bit random fraction f. Callers use it for route
+// diversity — retargeting a retried request inside the same range so it
+// routes around an unresponsive delegate.
+func RandomInRange(rng *rand.Rand, lo, hi ID) ID {
+	span := hi.Sub(lo)
+	f := rng.Uint64()
+	// off = floor(span * f / 2^64), a 128×64-bit multiply keeping the top
+	// 128 of the 192-bit product.
+	hiL, _ := bits.Mul64(span.Lo, f)
+	hiH, loH := bits.Mul64(span.Hi, f)
+	offLo, carry := bits.Add64(loH, hiL, 0)
+	off := ID{Hi: hiH + carry, Lo: offLo}
+	return lo.Add(off)
 }
 
 // RandomN returns n distinct uniformly random identifiers. With a 128-bit

@@ -60,6 +60,11 @@ type pushMsg struct {
 
 var pushMsgPool = sync.Pool{New: func() any { return new(pushMsg) }}
 
+// SingleDelivery opts push wrappers out of the duplication fault: the
+// receiver recycles them at delivery, so a second delivery would read
+// freed state.
+func (*pushMsg) SingleDelivery() {}
+
 // recordWireSize computes the on-the-wire size of a record push.
 func recordWireSize(sum *relq.Summary, _ *avail.Model) int {
 	const header = ids.Bytes + 8 + 8 // subject, version, flags

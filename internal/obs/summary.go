@@ -42,6 +42,13 @@ type QuerySummary struct {
 	Retries int
 	Drops   int
 
+	// Giveups counts dissemination subranges permanently lost after
+	// exhausting reissues; LostRange is the total fraction of the
+	// identifier namespace those subranges covered (an upper bound on the
+	// fraction of endsystems the query never reached).
+	Giveups   int
+	LostRange float64
+
 	// Completed reports an explicit complete (cancel) event.
 	Completed bool
 }
@@ -95,6 +102,9 @@ func SummarizeQueries(events []Event) []QuerySummary {
 			a.qs.FinalRows = ev.V
 		case KindDissemRetry:
 			a.qs.Retries++
+		case KindDissemGiveup:
+			a.qs.Giveups++
+			a.qs.LostRange += ev.V
 		case KindRouteDrop:
 			a.qs.Drops++
 		case KindComplete:
@@ -137,13 +147,13 @@ func WriteQueryBreakdown(w io.Writer, sums []QuerySummary) {
 	fmt.Fprintf(w, "# query lifecycle breakdown (%d queries)\n", len(sums))
 	fmt.Fprintln(w, "# phase legend: dissem = inject→predictor; agg = inject→first result;")
 	fmt.Fprintln(w, "#               avail_wait = first→last result (offline-endsystem tail)")
-	fmt.Fprintln(w, "# query\tinject_at\tdissem\tagg\tavail_wait\tpartials\tp50\tp90\tp99\tcontributors\tretries\tdrops")
+	fmt.Fprintln(w, "# query\tinject_at\tdissem\tagg\tavail_wait\tpartials\tp50\tp90\tp99\tcontributors\tretries\tdrops\tgiveups")
 	for _, s := range sums {
-		fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
 			s.Query, s.InjectAt,
 			fmtPhase(s.Dissemination), fmtPhase(s.Aggregation), fmtPhase(s.AvailabilityWait),
 			s.Partials, fmtPhase(s.P50), fmtPhase(s.P90), fmtPhase(s.P99),
-			s.MaxContributors, s.Retries, s.Drops)
+			s.MaxContributors, s.Retries, s.Drops, s.Giveups)
 	}
 	if len(sums) > 1 {
 		fmt.Fprintln(w, "# cross-query phase percentiles")

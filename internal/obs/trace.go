@@ -26,6 +26,11 @@ const (
 	// KindDissemAbandon marks a subrange given up on after MaxRetries; its
 	// contribution is missing from the predictor.
 	KindDissemAbandon Kind = "dissem_abandon"
+	// KindDissemGiveup marks the permanent loss of a dissemination
+	// subrange: reissues are exhausted and no endsystem will execute the
+	// query on the subrange's behalf. N is the number of reissues spent, V
+	// the fraction of the identifier namespace the lost subrange covered.
+	KindDissemGiveup Kind = "dissem_giveup"
 	// KindOnBehalf marks a predictor contribution generated on behalf of an
 	// unavailable endsystem from replicated metadata. N is the count of
 	// subjects covered by one leaf task.
@@ -68,6 +73,32 @@ const (
 	// records to a new replica-set member (verbose traces only). N is the
 	// number of records forwarded.
 	KindMetaRereplicate Kind = "meta_rerepl"
+
+	// Fault-injection kinds (internal/fault). Every scheduled injection
+	// emits its activation kind when it fires and KindFaultHeal when it
+	// heals; N is the injection's index in the scenario so activations and
+	// heals can be paired.
+	//
+	// KindFaultPartition marks a region partition activating. V is the
+	// region index cut off.
+	KindFaultPartition Kind = "fault_partition"
+	// KindFaultBurst marks a Gilbert-Elliott burst-loss window opening.
+	KindFaultBurst Kind = "fault_burst"
+	// KindFaultJitter marks a latency-jitter window opening.
+	KindFaultJitter Kind = "fault_jitter"
+	// KindFaultSpike marks a transient delay spike starting. V is the extra
+	// delay in seconds.
+	KindFaultSpike Kind = "fault_spike"
+	// KindFaultDup marks a message-duplication window opening. V is the
+	// duplication probability.
+	KindFaultDup Kind = "fault_dup"
+	// KindFaultCrash marks one endsystem of a correlated crash cohort going
+	// down. EP is the crashed endsystem, V the region index.
+	KindFaultCrash Kind = "fault_crash"
+	// KindFaultRestart marks one endsystem of a crash cohort coming back.
+	KindFaultRestart Kind = "fault_restart"
+	// KindFaultHeal marks an injection's fault window closing.
+	KindFaultHeal Kind = "fault_heal"
 )
 
 // Event is one typed span event. T is virtual time since the start of the

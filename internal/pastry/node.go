@@ -101,7 +101,7 @@ func (n *Node) StartBootstrap() {
 
 // installState fills the leafset and routing table from the ground truth.
 func (n *Node) installState() {
-	n.setLeafset(n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf))
+	n.setLeafset(n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf))
 	n.rows, _ = n.ring.buildRoutingTable(n.id)
 }
 
@@ -160,10 +160,25 @@ func (n *Node) sendJoinRequest() {
 		}
 		return
 	}
+	// Prefer a reachable contact: during a network partition a joiner must
+	// not burn its whole retry timeout on a contact across the cut. The
+	// random draw is made regardless so the rng stream is identical with
+	// and without faults.
 	contact := n.ring.live[n.ring.rng.Intn(len(n.ring.live))]
+	if !n.ring.reachable(n.ep, contact.EP) {
+		for _, ref := range n.ring.live {
+			if n.ring.reachable(n.ep, ref.EP) {
+				contact = ref
+				break
+			}
+		}
+	}
 	req := &joinRequest{Joiner: n.Ref()}
 	n.ring.net.Send(n.ep, contact.EP, refBytes+16, simnet.ClassPastry, req)
-	timeout := 10 * n.ring.cfg.RetryTimeout
+	timeout := n.ring.cfg.JoinRetryTimeout
+	if timeout <= 0 {
+		timeout = 10 * n.ring.cfg.RetryTimeout
+	}
 	n.joinRetry = n.ring.sched.After(timeout, func() {
 		n.ring.cJoinRetry.Inc()
 		n.sendJoinRequest()
@@ -187,7 +202,7 @@ func (n *Node) Stop() {
 	}
 	// The nodes holding this node in their leafsets — its lh successors
 	// and lh predecessors — learn of the death after the detection delay.
-	neighbors := n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf)
+	neighbors := n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf)
 	for _, nb := range neighbors {
 		nb := nb
 		delay := n.ring.cfg.HeartbeatPeriod +
@@ -273,6 +288,11 @@ type hopMsg struct {
 	Sender NodeRef
 	next   *hopMsg // Ring free list
 }
+
+// SingleDelivery opts hop wrappers out of the duplication fault: the
+// receiver recycles them at delivery, so a second delivery would read
+// freed state.
+func (*hopMsg) SingleDelivery() {}
 
 // nextHop picks the next hop for key using the classic Pastry rule, whose
 // mixed-step ordering is loop-free: (1) if the key falls within the
@@ -491,7 +511,33 @@ func (n *Node) repairLeafset() {
 				&leafsetPull{From: self})
 		}
 	}
-	n.setLeafset(n.ring.liveLeafNeighbors(n.id, n.ring.cfg.LeafsetHalf))
+	n.setLeafset(n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf))
+}
+
+// reconcileLeafset merges the reachable ground-truth neighbors into the
+// leafset, modeling the heartbeat-piggybacked leafset exchange discovering
+// nodes that became reachable again after a partition heal. It only adds:
+// unreachable members are removed by the failure-detection path
+// (noteDead), never silently. Fires LeafsetChanged when membership moved
+// so the layers above re-replicate metadata and repair aggregation trees.
+func (n *Node) reconcileLeafset() {
+	if !n.alive || n.joining {
+		return
+	}
+	want := n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf)
+	cands := make([]NodeRef, 0, len(n.leaf)+len(want))
+	cands = append(cands, n.leaf...)
+	cands = append(cands, want...)
+	before := append([]NodeRef(nil), n.leaf...)
+	n.setLeafset(cands)
+	if slices.Equal(before, n.leaf) {
+		return
+	}
+	n.ring.cReconciles.Inc()
+	n.ring.o.Emit(obs.Event{Kind: obs.KindLeafsetRepair, EP: int(n.ep)})
+	if n.app != nil {
+		n.app.LeafsetChanged()
+	}
 }
 
 // handleLeafsetPull answers a repair pull with this node's leafset.
@@ -566,7 +612,7 @@ func (n *Node) handleJoinRequest(req *joinRequest) {
 	// truth, modeling the state gathered along the join path.
 	joiner := req.Joiner
 	rows, entries := n.ring.buildRoutingTable(joiner.ID)
-	leafset := n.ring.liveLeafNeighbors(joiner.ID, n.ring.cfg.LeafsetHalf)
+	leafset := n.ring.liveLeafNeighbors(joiner.EP, joiner.ID, n.ring.cfg.LeafsetHalf)
 	reply := &joinReply{Leafset: leafset, Rows: flattenRows(rows)}
 	size := 16 + (len(leafset)+entries)*refBytes
 	n.ring.net.Send(n.ep, joiner.EP, size, simnet.ClassPastry, reply)

@@ -49,6 +49,11 @@ type Config struct {
 	// RetryTimeout is how long a node waits before concluding a forward
 	// to a stale routing entry failed and rerouting.
 	RetryTimeout time.Duration
+	// JoinRetryTimeout is how long a joining node waits for a join reply
+	// before retrying with a different contact. Zero means the historical
+	// default of 10×RetryTimeout; chaos scenarios with long partitions
+	// raise it to avoid join-retry storms.
+	JoinRetryTimeout time.Duration
 	// AccountingPeriod is how often aggregate heartbeat/probe costs are
 	// folded into the bandwidth statistics.
 	AccountingPeriod time.Duration
@@ -67,6 +72,7 @@ func DefaultConfig() Config {
 		HeartbeatPeriod:  30 * time.Second,
 		HeartbeatBytes:   32,
 		RetryTimeout:     time.Second,
+		JoinRetryTimeout: 10 * time.Second,
 		AccountingPeriod: 10 * time.Minute,
 	}
 }

@@ -28,6 +28,13 @@ type Ring struct {
 	nodes []*Node   // by endpoint; nil until AddNode
 	live  []NodeRef // ground truth, sorted by ID
 
+	// reach, when non-nil, reports whether two endpoints can currently
+	// exchange messages (false across an active network partition). The
+	// ground-truth oracles — leafset refill, join contacts — are filtered
+	// through it so that simulated repair never "cheats" across a cut the
+	// real protocol could not see through.
+	reach func(a, b simnet.Endpoint) bool
+
 	// Observability handles, cached once at construction (nil-safe no-ops
 	// when the network has no obs layer attached).
 	o          *obs.Obs
@@ -36,8 +43,9 @@ type Ring struct {
 	cRepairs   *obs.Counter   // pastry_leafset_repairs
 	cJoins     *obs.Counter   // pastry_joins
 	cJoinRetry *obs.Counter   // pastry_join_retries
-	cHopDrops  *obs.Counter   // pastry_maxhops_drops
-	cJoinDrops *obs.Counter   // pastry_join_maxhops_drops
+	cHopDrops   *obs.Counter  // pastry_maxhops_drops
+	cJoinDrops  *obs.Counter  // pastry_join_maxhops_drops
+	cReconciles *obs.Counter  // pastry_leafset_reconciles (partition heal)
 
 	// hopFree is an intrusive free list of hopMsg wrappers: one is
 	// allocated per routing hop on the hottest message path, and the ring
@@ -106,8 +114,9 @@ func NewRing(net *simnet.Network, cfg Config) *Ring {
 		cRepairs:   o.Counter("pastry_leafset_repairs"),
 		cJoins:     o.Counter("pastry_joins"),
 		cJoinRetry: o.Counter("pastry_join_retries"),
-		cHopDrops:  o.Counter("pastry_maxhops_drops"),
-		cJoinDrops: o.Counter("pastry_join_maxhops_drops"),
+		cHopDrops:   o.Counter("pastry_maxhops_drops"),
+		cJoinDrops:  o.Counter("pastry_join_maxhops_drops"),
+		cReconciles: o.Counter("pastry_leafset_reconciles"),
 	}
 	r.startAccounting()
 	return r
@@ -217,12 +226,25 @@ func (r *Ring) LiveClosest(key ids.ID, k int, skip *NodeRef) []NodeRef {
 	return out
 }
 
-// liveLeafNeighbors returns the proper leafset membership around id: its
-// lh nearest live successors and lh nearest live predecessors in ring
-// order, excluding id itself. This set is both what a node's own leafset
+// SetReachability installs (or, with nil, removes) the pairwise
+// reachability oracle consulted by the ground-truth repair paths. The
+// fault-injection layer wires its partition state in here; call
+// ReachabilityChanged after the reachable set changes.
+func (r *Ring) SetReachability(f func(a, b simnet.Endpoint) bool) { r.reach = f }
+
+// reachable reports whether two endpoints can currently exchange messages.
+func (r *Ring) reachable(a, b simnet.Endpoint) bool {
+	return r.reach == nil || r.reach(a, b)
+}
+
+// liveLeafNeighbors returns the proper leafset membership around id, as
+// visible from the endpoint from: its lh nearest live *reachable*
+// successors and lh nearest such predecessors in ring order, excluding id
+// itself. Absent partitions this set is both what a node's own leafset
 // should contain and — by the symmetry of successor/predecessor rank —
-// exactly the nodes whose leafsets contain id.
-func (r *Ring) liveLeafNeighbors(id ids.ID, lh int) []NodeRef {
+// exactly the nodes whose leafsets contain id; during a partition each
+// side sees only its own fragment of the ring.
+func (r *Ring) liveLeafNeighbors(from simnet.Endpoint, id ids.ID, lh int) []NodeRef {
 	n := len(r.live)
 	if n == 0 {
 		return nil
@@ -237,7 +259,7 @@ func (r *Ring) liveLeafNeighbors(id ids.ID, lh int) []NodeRef {
 	at := r.liveIndex(id) % n
 	for s, i := 0, at; s < lh && i < at+n; i++ { // successors
 		ref := r.live[i%n]
-		if !seen[ref.ID] {
+		if !seen[ref.ID] && r.reachable(from, ref.EP) {
 			seen[ref.ID] = true
 			out = append(out, ref)
 			s++
@@ -245,13 +267,46 @@ func (r *Ring) liveLeafNeighbors(id ids.ID, lh int) []NodeRef {
 	}
 	for s, i := 0, at-1; s < lh && i > at-1-n; i-- { // predecessors
 		ref := r.live[((i%n)+n)%n]
-		if !seen[ref.ID] {
+		if !seen[ref.ID] && r.reachable(from, ref.EP) {
 			seen[ref.ID] = true
 			out = append(out, ref)
 			s++
 		}
 	}
 	return out
+}
+
+// ReachabilityChanged reacts to a change in the reachability oracle (a
+// partition forming or healing). For every live node: leafset members that
+// are no longer reachable stop answering heartbeats, so their death is
+// noted after the usual detection delay of one to two heartbeat periods
+// (unless the cut heals first); and within one heartbeat period the node
+// reconciles its leafset against the reachable ground truth, modeling the
+// leafset exchange piggybacked on heartbeats discovering newly reachable
+// neighbors after a heal. Iteration over the ID-sorted live index keeps
+// the rng draw order deterministic.
+func (r *Ring) ReachabilityChanged() {
+	for _, ref := range r.live {
+		n := r.nodes[ref.EP]
+		if n == nil || !n.alive || n.joining {
+			continue
+		}
+		for _, m := range n.leaf {
+			if r.reachable(n.ep, m.EP) {
+				continue
+			}
+			m := m
+			delay := r.cfg.HeartbeatPeriod +
+				time.Duration(r.rng.Float64()*float64(r.cfg.HeartbeatPeriod))
+			r.sched.After(delay, func() {
+				if n.alive && !n.joining && !r.reachable(n.ep, m.EP) {
+					n.noteDead(m)
+				}
+			})
+		}
+		delay := time.Duration(r.rng.Float64() * float64(r.cfg.HeartbeatPeriod))
+		r.sched.After(delay, func() { n.reconcileLeafset() })
+	}
 }
 
 // Root returns the live node numerically closest to key, the ground-truth

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runner"
 )
 
 // Class labels each message with the overhead category it contributes to.
@@ -62,6 +63,31 @@ type HandlerFunc func(from Endpoint, payload any)
 // HandleMessage calls f.
 func (f HandlerFunc) HandleMessage(from Endpoint, payload any) { f(from, payload) }
 
+// Fate is a fault hook's verdict on one message: drop it, deliver it twice,
+// and/or delay it beyond the topology's base latency.
+type Fate struct {
+	Drop       bool
+	Duplicate  bool
+	ExtraDelay time.Duration
+}
+
+// FaultHook is consulted on every Send after the Bernoulli loss model. It
+// sees the endpoints, their attachment routers, and the traffic class, and
+// returns the message's fate. Implementations live in internal/fault; the
+// network itself stays fault-agnostic.
+type FaultHook interface {
+	OnSend(from, to Endpoint, fromRouter, toRouter int, class Class) Fate
+}
+
+// SingleDelivery marks payloads that must be delivered at most once because
+// the receiver recycles them into a free list or pool at delivery time. The
+// duplication fault skips such payloads: in a real network the duplicate
+// would be an independent copy of the packet, but here a second delivery of
+// the same recycled wrapper would read freed state.
+type SingleDelivery interface {
+	SingleDelivery()
+}
+
 // NetworkConfig parameterizes a Network.
 type NetworkConfig struct {
 	// LossRate is the independent probability that any message is dropped
@@ -79,7 +105,10 @@ type NetworkConfig struct {
 	// O(endsystems × Horizon/StatsBucket) memory; disable for very large
 	// sweeps that only need aggregate numbers.
 	PerEndpointStats bool
-	// Seed drives message-loss randomness.
+	// Seed drives endpoint→router attachment and message-loss randomness.
+	// The two draws use independent SplitMix64-derived streams, so the
+	// attachment (and thus every delay in the run) is identical across
+	// loss and fault configurations.
 	Seed int64
 }
 
@@ -103,15 +132,24 @@ type Network struct {
 	sched    *Scheduler
 	topo     *Topology
 	cfg      NetworkConfig
-	rng      *rand.Rand
-	router   []int // endpoint -> router index
+	lossRng  *rand.Rand // message-loss draws only
+	router   []int      // endpoint -> router index
 	handlers []Handler
 	stats    *Stats
+	fault    FaultHook
 
 	o      *obs.Obs
 	cSends *obs.Counter // net_sends
 	cLost  *obs.Counter // net_lost (dropped by the loss model)
 }
+
+// RNG stream indices for NetworkConfig.Seed. Keeping attachment and loss on
+// separate SplitMix64-derived streams means turning loss (or faults) on or
+// off never perturbs where endsystems attach.
+const (
+	rngStreamAttach = iota
+	rngStreamLoss
+)
 
 // NewNetwork creates a network of numEndpoints endsystems attached to
 // routers of topo. Attachment is random but deterministic in cfg.Seed,
@@ -124,16 +162,16 @@ func NewNetwork(sched *Scheduler, topo *Topology, numEndpoints int, cfg NetworkC
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 4 * 7 * 24 * time.Hour
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	attachRng := rand.New(rand.NewSource(runner.SplitSeed(cfg.Seed, rngStreamAttach)))
 	router := make([]int, numEndpoints)
 	for i := range router {
-		router[i] = rng.Intn(topo.NumRouters())
+		router[i] = attachRng.Intn(topo.NumRouters())
 	}
 	return &Network{
 		sched:    sched,
 		topo:     topo,
 		cfg:      cfg,
-		rng:      rng,
+		lossRng:  rand.New(rand.NewSource(runner.SplitSeed(cfg.Seed, rngStreamLoss))),
 		router:   router,
 		handlers: make([]Handler, numEndpoints),
 		stats:    newStats(numEndpoints, cfg),
@@ -157,6 +195,16 @@ func (n *Network) Obs() *obs.Obs { return n.o }
 
 // NumEndpoints returns the number of endsystems.
 func (n *Network) NumEndpoints() int { return len(n.handlers) }
+
+// RouterOf returns the router an endsystem is attached to.
+func (n *Network) RouterOf(ep Endpoint) int { return n.router[ep] }
+
+// Topology returns the router topology the network runs over.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// consulted on every Send.
+func (n *Network) SetFaultHook(h FaultHook) { n.fault = h }
 
 // Stats returns the bandwidth accounting collected so far.
 func (n *Network) Stats() *Stats { return n.stats }
@@ -199,11 +247,23 @@ func (n *Network) Send(from, to Endpoint, size int, class Class, payload any) {
 	now := n.sched.Now()
 	n.stats.accountTx(from, class, size, now)
 	n.cSends.Inc()
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	if n.cfg.LossRate > 0 && n.lossRng.Float64() < n.cfg.LossRate {
 		n.cLost.Inc()
 		return
 	}
 	delay := n.Delay(from, to)
+	if n.fault != nil {
+		fate := n.fault.OnSend(from, to, n.router[from], n.router[to], class)
+		if fate.Drop {
+			return
+		}
+		delay += fate.ExtraDelay
+		if fate.Duplicate {
+			if _, single := payload.(SingleDelivery); !single {
+				n.sched.sendAt(now+delay, n, from, to, size, class, payload)
+			}
+		}
+	}
 	// Delivery is a pooled struct event (see scheduler.go): the steady-state
 	// message path allocates neither a closure nor a Timer.
 	n.sched.sendAt(now+delay, n, from, to, size, class, payload)

@@ -15,6 +15,8 @@ type Topology struct {
 	numRouters int
 	rtt        []time.Duration // numRouters*numRouters matrix, row-major
 	lanDelay   time.Duration
+	region     []int // router -> failure region (core subtree)
+	numRegions int
 }
 
 // TopologyConfig parameterizes the synthetic CorpNet-like topology
@@ -123,6 +125,27 @@ func GenerateTopology(cfg TopologyConfig, seed int64) *Topology {
 		}
 	}
 
+	// Failure regions: every router belongs to the subtree of one core
+	// router. A region models the blast radius of a wide-area router or
+	// uplink outage — cutting it partitions every endsystem attached to a
+	// router in the subtree from the rest of the network.
+	region := make([]int, n)
+	if core > 0 {
+		for h := 0; h < hubs; h++ {
+			region[core+h] = h % core
+		}
+		for l := core + hubs; l < n; l++ {
+			if hubs > 0 {
+				region[l] = region[core+(l-core-hubs)%hubs]
+			} else {
+				region[l] = (l - core) % core
+			}
+		}
+		for i := 0; i < core; i++ {
+			region[i] = i
+		}
+	}
+
 	// Floyd–Warshall all-pairs shortest paths. 298^3 ≈ 2.6e7 steps: cheap.
 	for k := 0; k < n; k++ {
 		rowK := dist[k*n : (k+1)*n]
@@ -143,7 +166,7 @@ func GenerateTopology(cfg TopologyConfig, seed int64) *Topology {
 		}
 	}
 
-	return &Topology{numRouters: n, rtt: dist, lanDelay: cfg.LANDelay}
+	return &Topology{numRouters: n, rtt: dist, lanDelay: cfg.LANDelay, region: region, numRegions: max(core, 1)}
 }
 
 // UniformTopology returns a degenerate topology in which every router pair
@@ -153,6 +176,13 @@ func UniformTopology(numRouters int, rtt, lanDelay time.Duration) *Topology {
 		numRouters: numRouters,
 		rtt:        make([]time.Duration, numRouters*numRouters),
 		lanDelay:   lanDelay,
+		region:     make([]int, numRouters),
+		numRegions: numRouters,
+	}
+	for i := 0; i < numRouters; i++ {
+		// Each router is its own failure region, so tests can partition at
+		// single-router granularity.
+		t.region[i] = i
 	}
 	for i := 0; i < numRouters; i++ {
 		for j := 0; j < numRouters; j++ {
@@ -166,6 +196,24 @@ func UniformTopology(numRouters int, rtt, lanDelay time.Duration) *Topology {
 
 // NumRouters returns the number of routers in the topology.
 func (t *Topology) NumRouters() int { return t.numRouters }
+
+// Region returns the failure region a router belongs to. Regions are the
+// unit of correlated failure: a fault that cuts region r partitions every
+// endsystem attached to a router in r from the rest of the network.
+func (t *Topology) Region(router int) int {
+	if t.region == nil {
+		return 0
+	}
+	return t.region[router]
+}
+
+// NumRegions returns the number of failure regions.
+func (t *Topology) NumRegions() int {
+	if t.numRegions <= 0 {
+		return 1
+	}
+	return t.numRegions
+}
 
 // RouterRTT returns the shortest-path round-trip time between two routers.
 func (t *Topology) RouterRTT(a, b int) time.Duration {
