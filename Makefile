@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke chaos-smoke obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke chaos-smoke workload-smoke qserve-bench obs-bench check clean
 
 all: check
 
@@ -63,6 +63,22 @@ chaos-smoke:
 		echo "== chaos $$s =="; \
 		$(GO) run ./cmd/seaweed-sim -chaos $$s -smoke -out chaos-$$s || exit 1; \
 	done
+
+# workload-smoke is the CI query-service gate: the smoke sweep test
+# (byte-determinism at 1 vs 8 engine workers, ablation teeth on
+# interactive p99) plus one end-to-end CLI sweep, which exits 1 itself if
+# a tooth fails. Report lands in workload-smoke.json.
+workload-smoke:
+	$(GO) test -run TestWorkloadSmoke -v ./internal/experiments/
+	$(GO) run ./cmd/seaweed-sim -workload heavy -smoke -parallel 2 -out workload-smoke
+
+# qserve-bench runs the full-scale query-service sweep (N=2000, the heavy
+# mix pushed to 300 interactive queries/hour so hundreds of queries are
+# open concurrently under ~1.8x overload) and writes BENCH_qserve.json:
+# per-variant p50/p99 time-to-90%-completeness plus the ablation teeth
+# verdicts. Exits 1 if an ablation fails to degrade interactive p99.
+qserve-bench:
+	$(GO) run ./cmd/seaweed-sim -workload heavy -qps 300 -parallel 0 -out BENCH_qserve
 
 # obs-bench measures the cost of the default-on observability layer
 # (must stay under 5%).

@@ -16,11 +16,22 @@
 //	seaweed-sim -chaos mixed                    # fault-injection run + invariant report
 //	seaweed-sim -chaos mixed -smoke -out rep    # CI variant, report JSON to rep.json
 //	seaweed-sim -chaos mixed -ablate backoff    # ablation: expect invariant failures
+//	seaweed-sim -workload heavy                 # query-service sweep: full + both ablations
+//	seaweed-sim -workload heavy -out BENCH_qserve  # also write BENCH_qserve.json
+//	seaweed-sim -workload spike -qps 400        # spike preset at 400 interactive queries/hour
+//	seaweed-sim -workload heavy -ablate admission  # serve one ablated variant only
 //
 // -chaos runs a scripted fault scenario (partition, burstloss, flap,
 // mixed) against an always-on invariant checker and prints the chaos
 // report; the exit status is 1 when any invariant failed. The report is
 // byte-deterministic for a given scenario and seed.
+//
+// -workload serves an open-loop query workload (light, heavy, spike)
+// through the delay-aware query service, once with the full scheduler and
+// once per ablation, and checks the teeth: each ablation must strictly
+// degrade interactive p99 latency. Exit status is 1 when a tooth fails.
+// With -ablate admission|priority it instead serves just that ablated
+// variant and prints its report.
 //
 // -parallel N fans independent simulation runs across N workers of the
 // deterministic engine (0 = all cores); results are byte-identical at any
@@ -43,6 +54,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/qserve"
 	"repro/internal/runner"
 )
 
@@ -50,7 +62,9 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2, 5, 6, 7, 8, 9a, 9b, 9c, 9d, 10")
 	ablation := flag.String("ablation", "", "ablation to run: arity, predictor, histogram, push, replicas, deltapush")
 	chaos := flag.String("chaos", "", "chaos scenario to run: partition, burstloss, flap, mixed")
-	ablate := flag.String("ablate", "", "with -chaos: disable a hardening mechanism (backoff, repair)")
+	workload := flag.String("workload", "", "query-service workload to serve: light, heavy, spike")
+	qps := flag.Float64("qps", 0, "with -workload: interactive arrival rate in queries/hour (0 = the preset's; other classes scale proportionally)")
+	ablate := flag.String("ablate", "", "with -chaos: disable a hardening mechanism (backoff, repair); with -workload: serve one ablated variant (admission, priority)")
 	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
 	all := flag.Bool("all", false, "run every simulation figure")
 	sweep := flag.Bool("sweep", false, "run the Figures 5–8 completeness sweep through the parallel engine")
@@ -257,9 +271,71 @@ func main() {
 		return rep.OK()
 	}
 
+	runWorkload := func(name string) bool {
+		scale := 1.0
+		if *qps > 0 {
+			base, ok := qserve.Named(name, 1)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q (have: light, heavy, spike)\n", name)
+				os.Exit(2)
+			}
+			for _, l := range base.Loads {
+				if l.Class == qserve.Interactive {
+					scale = *qps / l.PerHour
+				}
+			}
+		}
+		var (
+			wl qserve.Workload
+			ok bool
+		)
+		if *smoke {
+			wl, ok = experiments.SmokeWorkload(name, scale)
+		} else {
+			wl, ok = qserve.Named(name, scale)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (have: light, heavy, spike)\n", name)
+			os.Exit(2)
+		}
+		n := s.CompletenessN
+		if *smoke {
+			n = 200
+		}
+		switch *ablate {
+		case "admission", "priority":
+			cfg := experiments.WorkloadConfig(n, s.Seed, wl, *smoke)
+			cfg.DisableAdmission = *ablate == "admission"
+			cfg.DisablePriority = *ablate == "priority"
+			cfg.Obs = o
+			qserve.Run(cfg).Render(w)
+			return true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload ablation %q (have: admission, priority)\n", *ablate)
+			os.Exit(2)
+		}
+		res := experiments.WorkloadSweep(s, n, wl, *smoke)
+		res.Render(w)
+		if *outPrefix != "" {
+			if err := res.WriteJSON(*outPrefix + ".json"); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: writing workload result: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return res.OK()
+	}
+
 	switch {
 	case *chaos != "":
 		ok := runChaos(*chaos)
+		finish()
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	case *workload != "":
+		ok := runWorkload(*workload)
 		finish()
 		if !ok {
 			os.Exit(1)

@@ -76,4 +76,17 @@ func main() {
 				100*float64(last.Partial.Count)/total)
 		}
 	}
+
+	// The answer is good enough: retire the query. The cancel propagates
+	// down the aggregation tree and reclaims its state everywhere, and
+	// handle.Done() — a channel closed on completion or cancellation —
+	// lets a client wait for the end of the lifecycle without polling.
+	cluster.CancelQuery(handle, injector)
+	select {
+	case <-handle.Done():
+		fmt.Printf("query retired after %v (cancelled=%v)\n",
+			cluster.Sched.Now()-handle.Injected, handle.Cancelled)
+	default:
+		fmt.Println("query still running?")
+	}
 }

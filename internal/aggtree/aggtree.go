@@ -266,6 +266,88 @@ func (e *Engine) Cancel(qid ids.ID) {
 	}
 }
 
+// CancelPropagate cancels a query at this endsystem — the injector-side
+// entry point — and broadcasts the cancellation down the query's
+// aggregation tree so every vertex replica group drops its state and
+// every leaf contributor stops re-asserting, instead of all of them
+// waiting out the TTL. The paper keeps incremental results flowing
+// "until it times out or is explicitly canceled"; this is the explicit
+// path. Propagation is best-effort: endsystems a cancel never reaches
+// (down, or partitioned) still reclaim via expiry.
+func (e *Engine) CancelPropagate(qid ids.ID) {
+	e.applyCancel(&cancelMsg{QID: qid})
+	node := e.host.PastryNode()
+	if !node.IsRootOf(qid) {
+		// Hand the broadcast to the root vertex's primary, which fans it
+		// down the whole tree.
+		node.Route(qid, &cancelMsg{QID: qid}, cancelMsgSize(), simnet.ClassQuery)
+	}
+}
+
+// applyCancel processes a cancellation at this endsystem: mark the query
+// canceled (tombstoning it if unknown, so late submissions are dropped
+// rather than resurrecting state), stop the local re-assertion chain,
+// drop every hosted vertex, and — for every dropped vertex this endsystem
+// was the primary of — fan the cancel to the vertex's children and
+// backups. Fan-out keys off the vertex's primary flag, not off which
+// cancel arrived first: a node can be backup for one vertex and primary
+// for another in the same tree, and a backup-targeted cancel reaching it
+// first must still propagate the primary vertex's subtree.
+func (e *Engine) applyCancel(m *cancelMsg) {
+	info := e.queries[m.QID]
+	if info == nil {
+		info = &queryInfo{firstSeen: e.host.PastryNode().Ring().Scheduler().Now()}
+		e.queries[m.QID] = info
+	}
+	info.canceled = true
+	if st, ok := e.resubmit[m.QID]; ok {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		delete(e.resubmit, m.QID)
+	}
+	var keys []vertexKey
+	for key := range e.vertices {
+		if key.qid == m.QID {
+			keys = append(keys, key)
+		}
+	}
+	// Deterministic fan-out order: map iteration must not decide message
+	// order.
+	sort.Slice(keys, func(i, j int) bool { return keys[i].vertex.Less(keys[j].vertex) })
+	node := e.host.PastryNode()
+	for _, key := range keys {
+		v := e.vertices[key]
+		if v == nil {
+			// Route below can deliver to self synchronously, re-entering
+			// applyCancel and reclaiming the remaining vertices already.
+			continue
+		}
+		if v.refresh != nil {
+			v.refresh.Cancel()
+		}
+		delete(e.vertices, key)
+		if !v.primary {
+			continue
+		}
+		children := make([]ids.ID, 0, len(v.children))
+		for child := range v.children {
+			children = append(children, child)
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i].Less(children[j]) })
+		for _, child := range children {
+			node.Route(child, &cancelMsg{QID: m.QID},
+				cancelMsgSize(), simnet.ClassQuery)
+		}
+		// Backups mirror this vertex's state; they drop it on receipt and
+		// only propagate further for vertices they are primary of.
+		for _, b := range e.backupSet(key.vertex) {
+			node.Ring().Network().Send(node.Endpoint(), b.EP,
+				cancelMsgSize(), simnet.ClassQuery, &cancelMsg{QID: m.QID})
+		}
+	}
+}
+
 // expired reports whether a query is past its TTL or canceled.
 func (e *Engine) expired(info *queryInfo) bool {
 	if info == nil {
@@ -349,11 +431,27 @@ type resultMsg struct {
 
 func resultMsgSize() int { return ids.Bytes + agg.EncodedPartialSize + 8 }
 
+// cancelMsg broadcasts an explicit query cancellation down the
+// aggregation tree. The receiver drops every vertex it hosts for the
+// query and fans the cancel on from each vertex it was primary of: to the
+// vertex's children (child keys are lower tree vertices, where the cancel
+// recurses at their primaries, or leaf contributors' endsystemIds, where
+// it stops their re-assertions) and to the vertex's backups. The
+// broadcast is best-effort — a lost cancel leaves state for the TTL
+// expiry backstop to reclaim — and idempotent: a second receipt finds no
+// vertices left to forward from.
+type cancelMsg struct {
+	QID ids.ID
+}
+
+func cancelMsgSize() int { return ids.Bytes }
+
 // TraceQuery implements pastry.Traced, attributing routing events for
 // aggregation traffic to the query's trace.
 func (m *submitMsg) TraceQuery() string { return m.QID.Short() }
 func (m *replMsg) TraceQuery() string   { return m.QID.Short() }
 func (m *resultMsg) TraceQuery() string { return m.QID.Short() }
+func (m *cancelMsg) TraceQuery() string { return m.QID.Short() }
 
 // --------------------------------------------------------------- protocol
 
@@ -467,6 +565,8 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 			EP: int(e.host.PastryNode().Endpoint()),
 			N:  m.Contributors, V: float64(m.Part.Count)})
 		e.host.ResultDelivered(m.QID, m.Part, m.Contributors)
+	case *cancelMsg:
+		e.applyCancel(m)
 	default:
 		return false
 	}
@@ -511,6 +611,11 @@ func (e *Engine) applySubmit(m *submitMsg) {
 // backup has already taken over as primary).
 func (e *Engine) applyRepl(m *replMsg) {
 	e.RegisterQuery(m.QID, m.Query, m.Injector)
+	// A replication in flight across a cancel (or TTL expiry) must not
+	// resurrect vertex state the sweep already reclaimed.
+	if e.expired(e.queries[m.QID]) {
+		return
+	}
 	key := vertexKey{qid: m.QID, vertex: m.Vertex}
 	v, ok := e.vertices[key]
 	if !ok {

@@ -356,3 +356,61 @@ func TestActiveQueriesTracked(t *testing.T) {
 		t.Fatal("injector not recorded")
 	}
 }
+
+func TestCancelPropagateReclaimsVertices(t *testing.T) {
+	n := 64
+	c := newCluster(t, n, 9, DefaultConfig())
+	c.sched.RunUntil(time.Second)
+	qid := ids.HashString("q-cancel")
+	injector := c.hosts[0].node.Endpoint()
+	for i, h := range c.hosts {
+		var p agg.Partial
+		p.Observe(float64(i + 1))
+		h.engine.Submit(qid, p, testQuery, injector)
+	}
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	total := 0
+	for _, h := range c.hosts {
+		total += h.engine.NumVertices()
+	}
+	if total == 0 {
+		t.Fatal("no vertices before cancel")
+	}
+	if len(c.hosts[0].results) == 0 {
+		t.Fatal("injector received no results before cancel")
+	}
+
+	c.hosts[0].engine.CancelPropagate(qid)
+	c.sched.RunUntil(c.sched.Now() + time.Minute)
+	total = 0
+	for _, h := range c.hosts {
+		total += h.engine.NumVertices()
+	}
+	if total != 0 {
+		t.Fatalf("%d vertices survived cancel propagation", total)
+	}
+	for _, h := range c.hosts {
+		if h.engine.IsActive(qid) {
+			t.Fatalf("endsystem %d still considers the query active", h.node.Endpoint())
+		}
+	}
+
+	// A straggler submission after the cancel must not resurrect tree
+	// state or deliver new results: the receiving vertex primary holds a
+	// cancel tombstone and drops the contribution.
+	results := len(c.hosts[0].results)
+	var p agg.Partial
+	p.Observe(1000)
+	c.hosts[5].engine.Submit(qid, p, testQuery, injector)
+	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
+	if got := len(c.hosts[0].results); got != results {
+		t.Fatalf("injector received %d new results after cancel", got-results)
+	}
+	total = 0
+	for _, h := range c.hosts {
+		total += h.engine.NumVertices()
+	}
+	if total != 0 {
+		t.Fatalf("straggler submission resurrected %d vertices", total)
+	}
+}

@@ -187,7 +187,48 @@ type QueryHandle struct {
 	// injector, in virtual-time order.
 	Results []ResultUpdate
 
+	// Completed reports that the result stream reached the predictor's
+	// expected total (>= 99% of it); Cancelled that the query was
+	// explicitly cancelled. Either closes the Done channel.
+	Completed bool
+	Cancelled bool
+
 	callbacks []*updateCallback
+	done      chan struct{}
+	onDone    []func()
+}
+
+// Done returns a channel that is closed when the query finishes: when
+// its incremental results reach the predictor's expected total, or when
+// it is explicitly cancelled. Workload clients select on it instead of
+// polling Latest. The channel is closed from the simulation goroutine;
+// like the rest of the handle it is safe to read between RunUntil calls.
+func (h *QueryHandle) Done() <-chan struct{} { return h.done }
+
+// finish marks the handle terminal exactly once: close Done, fire the
+// registered completion hooks.
+func (h *QueryHandle) finish() {
+	select {
+	case <-h.done:
+		return // already terminal
+	default:
+	}
+	close(h.done)
+	for _, fn := range h.onDone {
+		fn()
+	}
+}
+
+// whenDone registers fn to run at the virtual instant the query becomes
+// terminal (completed or cancelled), or immediately if it already is.
+// Like OnUpdate callbacks, fn runs on the simulation goroutine.
+func (h *QueryHandle) whenDone(fn func()) {
+	select {
+	case <-h.done:
+		fn()
+	default:
+		h.onDone = append(h.onDone, fn)
+	}
 }
 
 // ResultUpdate is one incremental result observation.
@@ -220,7 +261,7 @@ func (c *Cluster) InjectContinuousQuery(from simnet.Endpoint, q *relq.Query) *Qu
 // InjectQuery submits a query at endsystem from (which must be up) and
 // returns a handle that fills in as the simulation advances.
 func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle {
-	h := &QueryHandle{Injected: c.Sched.Now()}
+	h := &QueryHandle{Injected: c.Sched.Now(), done: make(chan struct{})}
 	node := c.Nodes[from]
 	o := c.Obs()
 	var hit50, hit90, hit99 bool
@@ -259,15 +300,30 @@ func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle 
 			if !hit99 && frac >= 0.99 {
 				hit99 = true
 				o.DurationHistogram("query_time_to_99pct_ns").ObserveDuration(now - h.Injected)
+				// Reaching the predicted total is completion: the user got
+				// everything the predictor promised.
+				h.Completed = true
+				o.Counter("queries_completed").Inc()
+				o.Emit(obs.Event{Kind: obs.KindComplete, Query: h.QueryID.Short(),
+					EP: int(from), N: int64(len(h.Results))})
+				h.finish()
 			}
 		})
 	return h
 }
 
-// CancelQuery explicitly cancels a query at its injector.
+// CancelQuery explicitly cancels a query at its injector: the handle's
+// Done channel closes, the cancellation is broadcast down the
+// aggregation tree (see Node.CancelQuery), and no further result updates
+// are delivered. Cancelling an already-terminal query only tears down
+// remaining tree state.
 func (c *Cluster) CancelQuery(h *QueryHandle, from simnet.Endpoint) {
-	c.Obs().Emit(obs.Event{Kind: obs.KindComplete, Query: h.QueryID.Short(),
+	o := c.Obs()
+	o.Counter("queries_cancelled").Inc()
+	o.Emit(obs.Event{Kind: obs.KindCancel, Query: h.QueryID.Short(),
 		EP: int(from), N: int64(len(h.Results))})
+	h.Cancelled = true
+	h.finish()
 	c.Nodes[from].CancelQuery(h.QueryID)
 }
 

@@ -220,9 +220,12 @@ func (n *Node) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64)
 
 // CancelQuery explicitly cancels a query injected at this endsystem: the
 // local tree state is dropped, incremental results stop being delivered,
-// and other endsystems let the query age out of their state via the TTL.
+// and the cancellation is broadcast down the aggregation tree so remote
+// vertex replica groups reclaim their state immediately instead of
+// waiting out the TTL (which remains the backstop for endsystems the
+// broadcast misses).
 func (n *Node) CancelQuery(qid ids.ID) {
-	n.tree.Cancel(qid)
+	n.tree.CancelPropagate(qid)
 	delete(n.resultSinks, qid)
 	if t, ok := n.contTimers[qid]; ok {
 		t.Cancel()

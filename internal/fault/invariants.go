@@ -73,7 +73,10 @@ func (c *Checker) ObserveEvent(ev obs.Event) {
 	case obs.KindFaultPartition, obs.KindFaultBurst, obs.KindFaultJitter,
 		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultCrash,
 		obs.KindFaultRestart, obs.KindFaultHeal,
-		obs.KindDissemGiveup:
+		obs.KindDissemGiveup,
+		// Cancels are counted so completeness-style invariants can tell an
+		// explicitly abandoned query from one that failed to finish.
+		obs.KindCancel:
 		c.seen[ev.Kind]++
 	}
 }

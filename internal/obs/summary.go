@@ -49,8 +49,28 @@ type QuerySummary struct {
 	Giveups   int
 	LostRange float64
 
-	// Completed reports an explicit complete (cancel) event.
+	// Completed reports a complete event: the query reached its predicted
+	// completeness (or ran out its lifetime) at the injector.
 	Completed bool
+	// Cancelled reports an explicit cancel event: the query was abandoned
+	// before completing. A query can be both (cancelled after it
+	// completed, e.g. a service reclaiming finished-query tree state).
+	Cancelled bool
+}
+
+// EndState renders how the query ended: "complete", "cancelled",
+// "complete+cancelled" (finished, then its state was explicitly
+// reclaimed) or "-" when the trace records neither.
+func (s QuerySummary) EndState() string {
+	switch {
+	case s.Completed && s.Cancelled:
+		return "complete+cancelled"
+	case s.Completed:
+		return "complete"
+	case s.Cancelled:
+		return "cancelled"
+	}
+	return "-"
 }
 
 // SummarizeQueries folds a trace into per-query breakdowns, ordered by
@@ -109,6 +129,8 @@ func SummarizeQueries(events []Event) []QuerySummary {
 			a.qs.Drops++
 		case KindComplete:
 			a.qs.Completed = true
+		case KindCancel:
+			a.qs.Cancelled = true
 		}
 		if ev.T > a.lastAt {
 			a.lastAt = ev.T
@@ -147,13 +169,13 @@ func WriteQueryBreakdown(w io.Writer, sums []QuerySummary) {
 	fmt.Fprintf(w, "# query lifecycle breakdown (%d queries)\n", len(sums))
 	fmt.Fprintln(w, "# phase legend: dissem = inject→predictor; agg = inject→first result;")
 	fmt.Fprintln(w, "#               avail_wait = first→last result (offline-endsystem tail)")
-	fmt.Fprintln(w, "# query\tinject_at\tdissem\tagg\tavail_wait\tpartials\tp50\tp90\tp99\tcontributors\tretries\tdrops\tgiveups")
+	fmt.Fprintln(w, "# query\tinject_at\tdissem\tagg\tavail_wait\tpartials\tp50\tp90\tp99\tcontributors\tretries\tdrops\tgiveups\tend")
 	for _, s := range sums {
-		fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
 			s.Query, s.InjectAt,
 			fmtPhase(s.Dissemination), fmtPhase(s.Aggregation), fmtPhase(s.AvailabilityWait),
 			s.Partials, fmtPhase(s.P50), fmtPhase(s.P90), fmtPhase(s.P99),
-			s.MaxContributors, s.Retries, s.Drops, s.Giveups)
+			s.MaxContributors, s.Retries, s.Drops, s.Giveups, s.EndState())
 	}
 	if len(sums) > 1 {
 		fmt.Fprintln(w, "# cross-query phase percentiles")

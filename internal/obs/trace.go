@@ -45,9 +45,15 @@ const (
 	// injector. N is the number of contributing endsystems, V the
 	// aggregated row count.
 	KindPartial Kind = "partial"
-	// KindComplete marks explicit query termination (cancel) at the
-	// injector.
+	// KindComplete marks a query reaching its predicted completeness at
+	// the injector: the handle's result stream hit the predictor's
+	// expected total (N is the number of result updates delivered).
 	KindComplete Kind = "complete"
+	// KindCancel marks explicit query cancellation at the injector. N is
+	// the number of result updates delivered before the cancel. Distinct
+	// from KindComplete so trace summaries and invariant checkers can tell
+	// an abandoned query from a finished one.
+	KindCancel Kind = "cancel"
 
 	// KindRouteDeliver marks an overlay delivery; N is the hop count
 	// (verbose traces only).
