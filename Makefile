@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke chaos-smoke workload-smoke qserve-bench obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench bench-smoke profile sweep-smoke chaos-smoke workload-smoke trace-smoke qserve-bench obs-bench check clean
 
 all: check
 
@@ -79,6 +79,17 @@ workload-smoke:
 # verdicts. Exits 1 if an ablation fails to degrade interactive p99.
 qserve-bench:
 	$(GO) run ./cmd/seaweed-sim -workload heavy -qps 300 -parallel 0 -out BENCH_qserve
+
+# trace-smoke is the CI causal-tracing gate: a small traced workload
+# with spans on, whose per-query critical-path decompositions must sum
+# exactly to the queries' end-to-end latencies (seaweed-trace -check
+# exits 1 otherwise), plus the time-series sampler and the obs overhead
+# benchmark as a build/panic smoke.
+trace-smoke:
+	$(GO) run ./cmd/seaweed-sim -workload spike -smoke -ablate priority \
+		-trace trace-smoke.jsonl -timeseries trace-smoke-ts.jsonl -metrics-out trace-smoke-metrics.json
+	$(GO) run ./cmd/seaweed-trace -breakdown trace-smoke.jsonl -check | tail -n 12
+	$(GO) test -bench=BenchmarkObsOverhead -benchtime=1x -run=^$$ .
 
 # obs-bench measures the cost of the default-on observability layer
 # (must stay under 5%).

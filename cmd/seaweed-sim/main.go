@@ -13,6 +13,8 @@
 //	seaweed-sim -sweep -out results             # also write results.jsonl/.csv records
 //	seaweed-sim -sweep -bench BENCH_runner.json # emit the engine perf summary
 //	seaweed-sim -fig 5 -trace t.jsonl -metrics  # with query trace + metrics summary
+//	seaweed-sim -fig 9a -metrics-out m.json     # metrics registry as JSON
+//	seaweed-sim -workload heavy -timeseries ts.jsonl  # virtual-time system samples
 //	seaweed-sim -chaos mixed                    # fault-injection run + invariant report
 //	seaweed-sim -chaos mixed -smoke -out rep    # CI variant, report JSON to rep.json
 //	seaweed-sim -chaos mixed -ablate backoff    # ablation: expect invariant failures
@@ -37,9 +39,14 @@
 // deterministic engine (0 = all cores); results are byte-identical at any
 // worker count. -smoke shrinks every dimension for CI smoke tests.
 //
-// The trace file is JSONL, one query-lifecycle event per line; summarize
-// it with `seaweed-trace -query t.jsonl`. -metrics prints the system-wide
-// metrics registry (always collected) after the run.
+// The trace file is JSONL, one query-lifecycle event per line, with
+// causal span links; summarize it with `seaweed-trace -query t.jsonl` or
+// decompose per-query delay with `seaweed-trace -breakdown t.jsonl`.
+// -metrics prints the system-wide metrics registry (always collected)
+// after the run; -metrics-out writes it as JSON. -timeseries streams
+// periodic virtual-time snapshots of the running system (live
+// endsystems, backlog, events/s, queue depth, query counts) to JSONL;
+// like -trace it forces multi-run invocations serial.
 package main
 
 import (
@@ -76,6 +83,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write query-lifecycle trace events to this JSONL file")
 	verbose := flag.Bool("vtrace", false, "with -trace, also record per-hop routing and maintenance detail events")
 	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry as JSON to this file after the run")
+	timeseries := flag.String("timeseries", "", "stream periodic virtual-time registry samples to this JSONL file (forces serial runs)")
+	tsPeriod := flag.Duration("timeseries-period", time.Minute, "virtual-time sampling period for -timeseries")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	profileRuns := flag.String("profileruns", "", "capture a per-run CPU profile into this directory (forces serial runs)")
@@ -136,6 +146,17 @@ func main() {
 		tr.Verbose = *verbose
 		o.SetTracer(tr)
 	}
+	var sampleWriter *obs.SampleWriter
+	if *timeseries != "" {
+		f, err := os.Create(*timeseries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sampleWriter = obs.NewSampleWriter(f)
+		o.SetSampler(sampleWriter, *tsPeriod)
+	}
 	finish := func() {
 		if traceSink != nil {
 			if err := traceSink.Flush(); err != nil {
@@ -143,8 +164,30 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if sampleWriter != nil {
+			if err := sampleWriter.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: flushing time series: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *metrics {
 			o.Registry().WriteSummary(w)
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: %v\n", err)
+				os.Exit(1)
+			}
+			if err := o.Registry().WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-sim: writing %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
 		}
 		if *benchPath != "" {
 			sum := runner.NewBenchSummary("seaweed-sim", stats, time.Since(start))

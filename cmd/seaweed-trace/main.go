@@ -8,6 +8,18 @@
 //	seaweed-trace -fig 1                    # hourly availability series
 //	seaweed-trace -kind gnutella -stats     # calibration statistics only
 //	seaweed-trace -query t.jsonl            # per-query latency breakdown
+//	seaweed-trace -breakdown t.jsonl        # causal delay decomposition + aggregate
+//	seaweed-trace -breakdown t.jsonl -id a1b2c3d4  # one query's decomposition
+//	seaweed-trace -critical-path t.jsonl -id a1b2c3d4  # its critical path
+//	seaweed-trace -breakdown t.jsonl -check # verify phase sums == totals (CI)
+//
+// -breakdown reconstructs each query's causal span tree (events linked by
+// span/parent ids) and attributes every virtual nanosecond of its
+// end-to-end latency to a phase: queue wait, routing, retry backoff,
+// availability wait, execution, aggregation. The per-phase durations sum
+// to the query's latency exactly; -check makes that invariant a CI gate.
+// -critical-path prints the chain of events behind the decomposition.
+// An -id that matches no query in the trace is an error (exit status 1).
 package main
 
 import (
@@ -19,6 +31,7 @@ import (
 	"repro/internal/avail"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/causal"
 )
 
 func main() {
@@ -29,8 +42,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	statsOnly := flag.Bool("stats", false, "print only the calibration statistics")
 	queryTrace := flag.String("query", "", "summarize the query lifecycles in this JSONL trace file")
+	breakdown := flag.String("breakdown", "", "print causal delay decompositions (and the aggregate) from this JSONL trace file")
+	critPath := flag.String("critical-path", "", "print causal critical paths from this JSONL trace file")
+	queryID := flag.String("id", "", "with -breakdown/-critical-path: only this query id (error if absent)")
+	check := flag.Bool("check", false, "with -breakdown: verify every decomposition sums to its query's latency; exit 1 on mismatch")
 	flag.Parse()
 
+	if *breakdown != "" || *critPath != "" {
+		analyzeTrace(*breakdown, *critPath, *queryID, *check)
+		return
+	}
 	if *queryTrace != "" {
 		summarizeQueryTrace(*queryTrace)
 		return
@@ -68,6 +89,74 @@ func main() {
 	}
 	for h, f := range trace.HourlySeries() {
 		fmt.Printf("%d\t%.4f\n", h, f)
+	}
+}
+
+// readTrace reads a JSONL trace file or exits.
+func readTrace(path string) []obs.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seaweed-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seaweed-trace: reading %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return events
+}
+
+// analyzeTrace runs the causal delay decomposition over a trace file for
+// -breakdown and/or -critical-path.
+func analyzeTrace(breakdownPath, critPath, queryID string, check bool) {
+	path := breakdownPath
+	if path == "" {
+		path = critPath
+	}
+	if breakdownPath != "" && critPath != "" && breakdownPath != critPath {
+		fmt.Fprintln(os.Stderr, "seaweed-trace: -breakdown and -critical-path must name the same trace file")
+		os.Exit(2)
+	}
+	bds := causal.Analyze(readTrace(path))
+	if queryID != "" {
+		var match []*causal.Breakdown
+		for _, b := range bds {
+			if b.Query == queryID {
+				match = append(match, b)
+			}
+		}
+		if len(match) == 0 {
+			fmt.Fprintf(os.Stderr, "seaweed-trace: no query %q in %s (%d queries traced)\n",
+				queryID, path, len(bds))
+			os.Exit(1)
+		}
+		bds = match
+	}
+	failed := 0
+	for _, b := range bds {
+		if check {
+			if err := b.Check(); err != nil {
+				fmt.Fprintf(os.Stderr, "seaweed-trace: %v\n", err)
+				failed++
+			}
+		}
+		if breakdownPath != "" {
+			causal.WriteBreakdown(os.Stdout, b)
+		}
+		if critPath != "" {
+			causal.WritePath(os.Stdout, b)
+		}
+	}
+	if breakdownPath != "" && queryID == "" {
+		causal.WriteAggregate(os.Stdout, causal.Summarize(bds))
+	}
+	if check {
+		fmt.Printf("# check: %d/%d decompositions sum exactly\n", len(bds)-failed, len(bds))
+		if failed > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -78,8 +78,10 @@ type Host interface {
 	PastryNode() *pastry.Node
 	// ResultDelivered is called at the query's injector whenever the root
 	// aggregate changes: the current incremental result and the number of
-	// endsystems that have contributed.
-	ResultDelivered(qid ids.ID, part agg.Partial, contributors int64)
+	// endsystems that have contributed. span is the partial event's span
+	// (0 when tracing is off), so the injector's completion event can
+	// chain onto the result that triggered it.
+	ResultDelivered(qid ids.ID, part agg.Partial, contributors int64, span uint64)
 }
 
 // V computes the parent vertexId: one more low-order digit of vertexId is
@@ -118,6 +120,9 @@ type vertexState struct {
 	// refresh only re-propagates dirty vertices (plus a rare safety pass)
 	// so an idle query costs almost nothing.
 	dirty bool
+	// cause is the span of the last contribution that changed this
+	// vertex's aggregate — the causal parent of the next upward forward.
+	cause uint64
 }
 
 func (v *vertexState) aggregate() (agg.Partial, int64) {
@@ -153,6 +158,10 @@ type queryInfo struct {
 	injector  simnet.Endpoint
 	firstSeen time.Duration
 	canceled  bool
+	// cause is the span under which this endsystem first learned of the
+	// query; availability-wait handoffs to rejoining neighbors chain off
+	// it.
+	cause uint64
 }
 
 // Engine runs the aggregation protocol for one endsystem.
@@ -236,12 +245,23 @@ func (e *Engine) Reset() {
 }
 
 // RegisterQuery tells the engine about an active query (from the
-// dissemination layer). The injector endpoint is where root results go.
-func (e *Engine) RegisterQuery(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
+// dissemination layer). The injector endpoint is where root results go;
+// cause is the span under which the query arrived here (0 without
+// tracing).
+func (e *Engine) RegisterQuery(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) {
 	if _, ok := e.queries[qid]; !ok {
 		e.queries[qid] = &queryInfo{query: q, injector: injector,
-			firstSeen: e.host.PastryNode().Ring().Scheduler().Now()}
+			firstSeen: e.host.PastryNode().Ring().Scheduler().Now(), cause: cause}
 	}
+}
+
+// Cause returns the span under which this endsystem first learned of the
+// query (0 when unknown or tracing is off).
+func (e *Engine) Cause(qid ids.ID) uint64 {
+	if info, ok := e.queries[qid]; ok {
+		return info.cause
+	}
+	return 0
 }
 
 // Cancel marks a query canceled at this endsystem: its tree state is
@@ -404,6 +424,9 @@ type submitMsg struct {
 	// of the query through the tree rather than through dissemination.
 	Injector simnet.Endpoint
 	Query    *relq.Query
+	// Cause is the span of the sender-side event behind this contribution
+	// (trace metadata; excluded from wire sizes like dissem's).
+	Cause uint64
 }
 
 func submitMsgSize() int { return 3*ids.Bytes + 8 + agg.EncodedPartialSize + 8 }
@@ -416,6 +439,7 @@ type replMsg struct {
 	UpVersion uint64
 	Injector  simnet.Endpoint
 	Query     *relq.Query
+	Cause     uint64
 }
 
 func replMsgSize(children int) int {
@@ -427,6 +451,7 @@ type resultMsg struct {
 	QID          ids.ID
 	Part         agg.Partial
 	Contributors int64
+	Cause        uint64
 }
 
 func resultMsgSize() int { return ids.Bytes + agg.EncodedPartialSize + 8 }
@@ -453,13 +478,19 @@ func (m *replMsg) TraceQuery() string   { return m.QID.Short() }
 func (m *resultMsg) TraceQuery() string { return m.QID.Short() }
 func (m *cancelMsg) TraceQuery() string { return m.QID.Short() }
 
+// TraceSpan implements pastry.TracedSpan for verbose hop-chain tracing.
+func (m *submitMsg) TraceSpan() uint64 { return m.Cause }
+func (m *replMsg) TraceSpan() uint64   { return m.Cause }
+func (m *resultMsg) TraceSpan() uint64 { return m.Cause }
+
 // --------------------------------------------------------------- protocol
 
 // Submit contributes this endsystem's local result for a query. It may be
 // called again with an updated partial (e.g. after a local data change);
-// the new version replaces the old exactly once.
-func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector simnet.Endpoint) {
-	e.RegisterQuery(qid, q, injector)
+// the new version replaces the old exactly once. cause is the span of the
+// execution that produced the partial (0 when tracing is off).
+func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector simnet.Endpoint, cause uint64) {
+	e.RegisterQuery(qid, q, injector, cause)
 	prev := e.submitted[qid]
 	version := uint64(1)
 	if prev != nil {
@@ -468,12 +499,10 @@ func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector si
 	c := &contribution{Version: version, Part: part, Contributors: 1}
 	e.submitted[qid] = c
 	e.cSubmits.Inc()
-	if e.o.Detail() {
-		e.o.EmitDetail(obs.Event{Kind: obs.KindSubmit, Query: qid.Short(),
-			EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
-	}
-	e.sendSubmission(qid, *c)
-	e.armResubmit(qid, c.Version, 0)
+	span := e.o.EmitSpan(cause, obs.Event{Kind: obs.KindSubmit, Query: qid.Short(),
+		EP: int(e.host.PastryNode().Endpoint()), N: int64(version)})
+	e.sendSubmission(qid, *c, span)
+	e.armResubmit(qid, c.Version, 0, span)
 }
 
 // armResubmit schedules a bounded, backed-off re-assertion of this
@@ -485,7 +514,7 @@ func (e *Engine) Submit(qid ids.ID, part agg.Partial, q *relq.Query, injector si
 // the vertex (applySubmit drops it as a duplicate), so the exactly-once
 // invariant is untouched. A newer Submit restarts the chain with its own
 // version; the stale chain detects the version change and stops.
-func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int) {
+func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int, span uint64) {
 	if prev := e.resubmit[qid]; prev != nil && prev.timer != nil {
 		prev.timer.Cancel()
 	}
@@ -510,8 +539,10 @@ func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int) {
 			return
 		}
 		e.cResubmit.Inc()
-		e.sendSubmission(qid, *c)
-		e.armResubmit(qid, st.version, st.attempt+1)
+		next := e.o.EmitSpan(span, obs.Event{Kind: obs.KindAggResubmit, Query: qid.Short(),
+			EP: int(node.Endpoint()), N: int64(st.attempt + 1)})
+		e.sendSubmission(qid, *c, next)
+		e.armResubmit(qid, st.version, st.attempt+1, next)
 	})
 	e.resubmit[qid] = st
 }
@@ -521,7 +552,7 @@ func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int) {
 // endsystemId that it is not the root of; afterwards, the persisted entry
 // vertexId, so that re-submissions (including after a restart) land on the
 // same vertex and replace the previous version.
-func (e *Engine) sendSubmission(qid ids.ID, c contribution) {
+func (e *Engine) sendSubmission(qid ids.ID, c contribution, cause uint64) {
 	node := e.host.PastryNode()
 	info := e.queries[qid]
 	v, ok := e.entryVertex[qid]
@@ -542,7 +573,7 @@ func (e *Engine) sendSubmission(qid ids.ID, c contribution) {
 		e.hDepth.Observe(int64(depth))
 	}
 	msg := &submitMsg{QID: qid, Vertex: v, Child: node.ID(), C: c,
-		Injector: info.injector, Query: info.query}
+		Injector: info.injector, Query: info.query, Cause: cause}
 	if node.IsRootOf(v) {
 		// This endsystem hosts the vertex itself (it is the root of the
 		// whole chain up to the queryId).
@@ -561,10 +592,10 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 	case *replMsg:
 		e.applyRepl(m)
 	case *resultMsg:
-		e.o.Emit(obs.Event{Kind: obs.KindPartial, Query: m.QID.Short(),
+		span := e.o.EmitSpan(m.Cause, obs.Event{Kind: obs.KindPartial, Query: m.QID.Short(),
 			EP: int(e.host.PastryNode().Endpoint()),
 			N:  m.Contributors, V: float64(m.Part.Count)})
-		e.host.ResultDelivered(m.QID, m.Part, m.Contributors)
+		e.host.ResultDelivered(m.QID, m.Part, m.Contributors, span)
 	case *cancelMsg:
 		e.applyCancel(m)
 	default:
@@ -576,7 +607,7 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 // applySubmit folds a child contribution into the vertex hosted here.
 // Contributions for expired or canceled queries are dropped.
 func (e *Engine) applySubmit(m *submitMsg) {
-	e.RegisterQuery(m.QID, m.Query, m.Injector)
+	e.RegisterQuery(m.QID, m.Query, m.Injector, m.Cause)
 	if e.expired(e.queries[m.QID]) {
 		return
 	}
@@ -602,6 +633,9 @@ func (e *Engine) applySubmit(m *submitMsg) {
 		return
 	}
 	v.dirty = true
+	if m.Cause != 0 {
+		v.cause = m.Cause
+	}
 	e.replicateDelta(v, m.Child)
 	e.forwardUp(v)
 }
@@ -610,7 +644,7 @@ func (e *Engine) applySubmit(m *submitMsg) {
 // against stale replication overwriting newer local state (e.g. when this
 // backup has already taken over as primary).
 func (e *Engine) applyRepl(m *replMsg) {
-	e.RegisterQuery(m.QID, m.Query, m.Injector)
+	e.RegisterQuery(m.QID, m.Query, m.Injector, m.Cause)
 	// A replication in flight across a cancel (or TTL expiry) must not
 	// resurrect vertex state the sweep already reclaimed.
 	if e.expired(e.queries[m.QID]) {
@@ -634,6 +668,9 @@ func (e *Engine) applyRepl(m *replMsg) {
 			}
 		}
 	}
+	if changed && m.Cause != 0 {
+		v.cause = m.Cause
+	}
 	if m.UpVersion > v.upVersion {
 		v.upVersion = m.UpVersion
 	}
@@ -646,7 +683,7 @@ func (e *Engine) applyRepl(m *replMsg) {
 	if e.host.PastryNode().IsRootOf(m.Vertex) {
 		if !v.primary {
 			e.cTakeovers.Inc()
-			e.o.Emit(obs.Event{Kind: obs.KindTakeover, Query: m.QID.Short(),
+			e.o.EmitSpan(v.cause, obs.Event{Kind: obs.KindTakeover, Query: m.QID.Short(),
 				EP: int(e.host.PastryNode().Endpoint())})
 		}
 		v.primary = true
@@ -682,7 +719,7 @@ func (e *Engine) replicateDelta(v *vertexState, child ids.ID) {
 	}
 	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
 		Children: map[ids.ID]contribution{child: c}, UpVersion: v.upVersion,
-		Injector: info.injector, Query: info.query}
+		Injector: info.injector, Query: info.query, Cause: v.cause}
 	size := replMsgSize(1)
 	for _, b := range e.backupSet(v.key.vertex) {
 		node.Ring().Network().Send(node.Endpoint(), b.EP, size, simnet.ClassQuery, msg)
@@ -704,13 +741,13 @@ func (e *Engine) forwardUp(v *vertexState) {
 		// Root: deliver the incremental result to the injector.
 		node.Ring().Network().Send(node.Endpoint(), info.injector,
 			resultMsgSize(), simnet.ClassQuery,
-			&resultMsg{QID: v.key.qid, Part: part, Contributors: contributors})
+			&resultMsg{QID: v.key.qid, Part: part, Contributors: contributors, Cause: v.cause})
 		return
 	}
 	parent := V(v.key.qid, v.key.vertex, e.cfg.B)
 	msg := &submitMsg{QID: v.key.qid, Vertex: parent, Child: v.key.vertex,
 		C:        contribution{Version: v.upVersion, Part: part, Contributors: contributors},
-		Injector: info.injector, Query: info.query}
+		Injector: info.injector, Query: info.query, Cause: v.cause}
 	if node.IsRootOf(parent) {
 		e.applySubmit(msg)
 		return
@@ -796,7 +833,7 @@ func (e *Engine) HandleLeafsetChanged() {
 			// shifted toward us.
 			v.primary = true
 			e.cTakeovers.Inc()
-			e.o.Emit(obs.Event{Kind: obs.KindTakeover, Query: v.key.qid.Short(),
+			e.o.EmitSpan(v.cause, obs.Event{Kind: obs.KindTakeover, Query: v.key.qid.Short(),
 				EP: int(node.Endpoint())})
 			e.propagate(v)
 		case !isRoot:
@@ -833,7 +870,7 @@ func (e *Engine) replicateToBackups(v *vertexState) {
 	}
 	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
 		Children: cloneChildren(v.children), UpVersion: v.upVersion,
-		Injector: info.injector, Query: info.query}
+		Injector: info.injector, Query: info.query, Cause: v.cause}
 	size := replMsgSize(len(v.children))
 	for _, b := range e.backupSet(v.key.vertex) {
 		node.Ring().Network().Send(node.Endpoint(), b.EP, size, simnet.ClassQuery, msg)
@@ -850,7 +887,7 @@ func (e *Engine) pushStateToRoot(v *vertexState) {
 	}
 	msg := &replMsg{QID: v.key.qid, Vertex: v.key.vertex,
 		Children: cloneChildren(v.children), UpVersion: v.upVersion,
-		Injector: info.injector, Query: info.query}
+		Injector: info.injector, Query: info.query, Cause: v.cause}
 	node.Route(v.key.vertex, msg, replMsgSize(len(v.children)), simnet.ClassQuery)
 }
 

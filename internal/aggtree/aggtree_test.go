@@ -72,7 +72,7 @@ type resultEvent struct {
 
 func (h *testHost) PastryNode() *pastry.Node { return h.node }
 
-func (h *testHost) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64) {
+func (h *testHost) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64, span uint64) {
 	h.results = append(h.results, resultEvent{part, contributors})
 }
 
@@ -138,7 +138,7 @@ func TestAllNodesSubmitAggregatesExactly(t *testing.T) {
 	for i, h := range c.hosts {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		h.engine.Submit(qid, p, testQuery, injector)
+		h.engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	got := latestResult(t, c.hosts[0])
@@ -163,14 +163,14 @@ func TestResubmissionCountsOnce(t *testing.T) {
 	for i, h := range c.hosts {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		h.engine.Submit(qid, p, testQuery, injector)
+		h.engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + time.Minute)
 	// Node 5 re-submits an updated result (new version): replaces, never
 	// double counts.
 	var p2 agg.Partial
 	p2.Observe(1000)
-	c.hosts[5].engine.Submit(qid, p2, testQuery, injector)
+	c.hosts[5].engine.Submit(qid, p2, testQuery, injector, 0)
 	c.sched.RunUntil(c.sched.Now() + time.Minute)
 	got := latestResult(t, c.hosts[0])
 	want := float64(n*(n+1)/2) - 6 + 1000
@@ -197,7 +197,7 @@ func TestIncrementalArrival(t *testing.T) {
 		c.sched.At(at, func() {
 			var p agg.Partial
 			p.Observe(float64(i + 1))
-			h.engine.Submit(qid, p, testQuery, injector)
+			h.engine.Submit(qid, p, testQuery, injector, 0)
 		})
 	}
 	c.sched.RunUntil(c.sched.Now() + 2*time.Hour)
@@ -238,7 +238,7 @@ func TestSurvivesInteriorFailures(t *testing.T) {
 	for i, h := range c.hosts {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		h.engine.Submit(qid, p, testQuery, injector)
+		h.engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + time.Minute)
 
@@ -285,7 +285,7 @@ func TestLateJoinersContribute(t *testing.T) {
 	for i := 0; i < n-8; i++ {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		c.hosts[i].engine.Submit(qid, p, testQuery, injector)
+		c.hosts[i].engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + 5*time.Minute)
 	partial := latestResult(t, c.hosts[0]).part.Final(agg.Sum)
@@ -299,7 +299,7 @@ func TestLateJoinersContribute(t *testing.T) {
 			h.node.OnReady = func() {
 				var p agg.Partial
 				p.Observe(float64(i + 1))
-				h.engine.Submit(qid, p, testQuery, injector)
+				h.engine.Submit(qid, p, testQuery, injector, 0)
 			}
 			h.node.Start()
 		})
@@ -327,7 +327,7 @@ func TestTreeDepthIsLogarithmic(t *testing.T) {
 	for i, h := range c.hosts {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		h.engine.Submit(qid, p, testQuery, injector)
+		h.engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	vertices := 0
@@ -346,7 +346,7 @@ func TestActiveQueriesTracked(t *testing.T) {
 	injector := c.hosts[0].node.Endpoint()
 	var p agg.Partial
 	p.Observe(1)
-	c.hosts[3].engine.Submit(qid, p, testQuery, injector)
+	c.hosts[3].engine.Submit(qid, p, testQuery, injector, 0)
 	c.sched.RunUntil(c.sched.Now() + time.Minute)
 	qs := c.hosts[3].engine.ActiveQueries()
 	if qs[qid] == nil {
@@ -366,7 +366,7 @@ func TestCancelPropagateReclaimsVertices(t *testing.T) {
 	for i, h := range c.hosts {
 		var p agg.Partial
 		p.Observe(float64(i + 1))
-		h.engine.Submit(qid, p, testQuery, injector)
+		h.engine.Submit(qid, p, testQuery, injector, 0)
 	}
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	total := 0
@@ -401,7 +401,7 @@ func TestCancelPropagateReclaimsVertices(t *testing.T) {
 	results := len(c.hosts[0].results)
 	var p agg.Partial
 	p.Observe(1000)
-	c.hosts[5].engine.Submit(qid, p, testQuery, injector)
+	c.hosts[5].engine.Submit(qid, p, testQuery, injector, 0)
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	if got := len(c.hosts[0].results); got != results {
 		t.Fatalf("injector received %d new results after cancel", got-results)

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/causal"
+	"repro/internal/relq"
+)
+
+// captureSink accumulates every trace event in record order.
+type captureSink struct{ events []obs.Event }
+
+func (s *captureSink) Record(ev obs.Event) { s.events = append(s.events, ev) }
+
+// The acceptance invariant of the causal tracing layer: for every query
+// that completes in a deterministic run, the critical-path phase
+// decomposition sums — exactly, in virtual time — to the query's
+// end-to-end latency from service arrival to completion.
+func TestCausalBreakdownSumsToLatency(t *testing.T) {
+	trace := alwaysUpTrace(50, 24*time.Hour)
+	cfg := DefaultClusterConfig(trace, 7)
+	cfg.Workload.MeanFlowsPerDay = 40
+	o := obs.New()
+	sink := &captureSink{}
+	o.SetTracer(obs.NewTracer(sink))
+	cfg.Obs = o
+	c := NewCluster(cfg)
+	svc := NewQueryService(c)
+	c.RunUntil(2 * time.Hour)
+
+	// Queue several queries at one instant and start them staggered, so
+	// the decompositions include genuine queue wait alongside routing,
+	// execution and aggregation.
+	inj := findLiveInjector(t, c)
+	q := relq.MustParse("SELECT COUNT(*) FROM Flow WHERE SrcPort=80")
+	var sqs []*ServicedQuery
+	for i := 0; i < 4; i++ {
+		sq := svc.Admit(inj, q, "interactive")
+		svc.Enqueue(sq)
+		sqs = append(sqs, sq)
+		wait := time.Duration(i) * 37 * time.Second
+		c.Sched.After(wait, func() { svc.Start(sq) })
+	}
+	c.RunUntil(c.Sched.Now() + 4*time.Hour)
+
+	byQ := make(map[string]*causal.Breakdown)
+	for _, b := range causal.Analyze(sink.events) {
+		byQ[b.Query] = b
+	}
+	completed := 0
+	for i, sq := range sqs {
+		if sq.State != QueryComplete {
+			continue
+		}
+		completed++
+		b := byQ[sq.Handle.QueryID.Short()]
+		if b == nil {
+			t.Fatalf("query %d (%s) has no causal breakdown", i, sq.Handle.QueryID.Short())
+		}
+		if err := b.Check(); err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+		if b.Terminal != obs.KindComplete {
+			t.Errorf("query %d terminal = %s, want complete", i, b.Terminal)
+		}
+		// The path's root is the queued event at service arrival and its
+		// terminal the complete event, so the decomposed Total must equal
+		// the independently tracked service latency exactly.
+		if b.Start != sq.ArrivedAt || b.End != sq.FinishedAt {
+			t.Errorf("query %d path spans [%v,%v], service saw [%v,%v]",
+				i, b.Start, b.End, sq.ArrivedAt, sq.FinishedAt)
+		}
+		if want := sq.FinishedAt - sq.ArrivedAt; b.Total != want {
+			t.Errorf("query %d decomposed %v, end-to-end latency %v", i, b.Total, want)
+		}
+		// The staggered start must be attributed to queue wait.
+		if wait := sq.StartedAt - sq.ArrivedAt; b.Phases[causal.PhaseQueueWait] < wait {
+			t.Errorf("query %d queue_wait %v < actual queue dwell %v",
+				i, b.Phases[causal.PhaseQueueWait], wait)
+		}
+	}
+	if completed < 2 {
+		t.Fatalf("only %d/4 queries completed; horizon too short for the invariant to bite", completed)
+	}
+}
+
+// Shed queries decompose too: queued → shed, all queue wait.
+func TestCausalShedQueryChain(t *testing.T) {
+	trace := alwaysUpTrace(30, 8*time.Hour)
+	cfg := DefaultClusterConfig(trace, 11)
+	cfg.Workload.MeanFlowsPerDay = 20
+	o := obs.New()
+	sink := &captureSink{}
+	o.SetTracer(obs.NewTracer(sink))
+	cfg.Obs = o
+	c := NewCluster(cfg)
+	svc := NewQueryService(c)
+	c.RunUntil(time.Hour)
+
+	inj := findLiveInjector(t, c)
+	sq := svc.Admit(inj, relq.MustParse("SELECT COUNT(*) FROM Flow"), "batch")
+	svc.Enqueue(sq)
+	c.RunUntil(c.Sched.Now() + time.Minute)
+	svc.Shed(sq)
+
+	var queued, shed *obs.Event
+	for i := range sink.events {
+		switch sink.events[i].Kind {
+		case obs.KindQueued:
+			queued = &sink.events[i]
+		case obs.KindShed:
+			shed = &sink.events[i]
+		}
+	}
+	if queued == nil || shed == nil {
+		t.Fatal("missing queued/shed events in trace")
+	}
+	if queued.Span == 0 || shed.Parent != queued.Span {
+		t.Fatalf("shed (span %d parent %d) not chained to queued (span %d)",
+			shed.Span, shed.Parent, queued.Span)
+	}
+	if d := shed.T - queued.T; d != time.Minute {
+		t.Fatalf("queued->shed edge = %v, want 1m", d)
+	}
+}

@@ -107,6 +107,24 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c := &Cluster{Sched: sched, Net: net, Ring: ring, Nodes: make([]*Node, n), cfg: cfg,
 		cSchedEvents: o.Counter("sched_events")}
 
+	// Virtual-time telemetry: when a sampler is attached to the obs layer,
+	// snapshot the load signals on its period. Like a tracer, a sampler
+	// forces experiment series serial, so sampling here cannot race.
+	if sw, period := o.Sampler(); sw != nil && period > 0 {
+		var lastT time.Duration
+		var lastEvents uint64
+		sched.Every(period, func() {
+			now := sched.Now()
+			exec := sched.Executed()
+			perSec := 0.0
+			if dt := now - lastT; dt > 0 {
+				perSec = float64(exec-lastEvents) / dt.Seconds()
+			}
+			sw.Write(o.Snapshot(now, ring.NumLive(), sched.Pending(), exec, perSec))
+			lastT, lastEvents = now, exec
+		})
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idList := ids.RandomN(rng, n)
 	feedPeriod := cfg.Feed.Period
@@ -196,6 +214,10 @@ type QueryHandle struct {
 	callbacks []*updateCallback
 	done      chan struct{}
 	onDone    []func()
+	// lastSpan is the span of the most recent partial event delivered to
+	// this injector (0 without tracing): the causal parent of the terminal
+	// complete/cancel event.
+	lastSpan uint64
 }
 
 // Done returns a channel that is closed when the query finishes: when
@@ -261,20 +283,30 @@ func (c *Cluster) InjectContinuousQuery(from simnet.Endpoint, q *relq.Query) *Qu
 // InjectQuery submits a query at endsystem from (which must be up) and
 // returns a handle that fills in as the simulation advances.
 func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle {
+	return c.InjectQueryCause(from, q, 0)
+}
+
+// InjectQueryCause is InjectQuery with an explicit causal parent span:
+// the query service passes its started event so the whole query tree
+// chains back to admission. cause 0 starts a fresh causal tree.
+func (c *Cluster) InjectQueryCause(from simnet.Endpoint, q *relq.Query, cause uint64) *QueryHandle {
 	h := &QueryHandle{Injected: c.Sched.Now(), done: make(chan struct{})}
 	node := c.Nodes[from]
 	o := c.Obs()
 	var hit50, hit90, hit99 bool
-	h.QueryID = node.InjectQuery(q,
+	h.QueryID = node.InjectQuery(q, cause,
 		func(p *predictor.Predictor) {
 			h.Predictor = p
 			h.PredictorAt = c.Sched.Now()
 		},
-		func(part agg.Partial, contributors int64) {
+		func(part agg.Partial, contributors int64, span uint64) {
 			now := c.Sched.Now()
 			h.deliver(ResultUpdate{
 				At: now, Partial: part, Contributors: contributors,
 			})
+			if span != 0 {
+				h.lastSpan = span
+			}
 			if len(h.Results) == 1 {
 				o.DurationHistogram("query_time_to_first_result_ns").
 					ObserveDuration(now - h.Injected)
@@ -301,10 +333,12 @@ func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle 
 				hit99 = true
 				o.DurationHistogram("query_time_to_99pct_ns").ObserveDuration(now - h.Injected)
 				// Reaching the predicted total is completion: the user got
-				// everything the predictor promised.
+				// everything the predictor promised. The complete event chains
+				// onto the partial that crossed the threshold, closing the
+				// critical path.
 				h.Completed = true
 				o.Counter("queries_completed").Inc()
-				o.Emit(obs.Event{Kind: obs.KindComplete, Query: h.QueryID.Short(),
+				o.EmitSpan(h.lastSpan, obs.Event{Kind: obs.KindComplete, Query: h.QueryID.Short(),
 					EP: int(from), N: int64(len(h.Results))})
 				h.finish()
 			}
@@ -320,7 +354,7 @@ func (c *Cluster) InjectQuery(from simnet.Endpoint, q *relq.Query) *QueryHandle 
 func (c *Cluster) CancelQuery(h *QueryHandle, from simnet.Endpoint) {
 	o := c.Obs()
 	o.Counter("queries_cancelled").Inc()
-	o.Emit(obs.Event{Kind: obs.KindCancel, Query: h.QueryID.Short(),
+	o.EmitSpan(h.lastSpan, obs.Event{Kind: obs.KindCancel, Query: h.QueryID.Short(),
 		EP: int(from), N: int64(len(h.Results))})
 	h.Cancelled = true
 	h.finish()

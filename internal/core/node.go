@@ -18,6 +18,7 @@ import (
 	"repro/internal/dissem"
 	"repro/internal/ids"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/predictor"
 	"repro/internal/relq"
@@ -38,8 +39,9 @@ type Node struct {
 	downAt   time.Duration // when the endsystem last went down
 	everDown bool
 
-	// resultSinks receives incremental results for queries injected here.
-	resultSinks map[ids.ID]func(agg.Partial, int64)
+	// resultSinks receives incremental results for queries injected here;
+	// the third argument is the delivering partial event's span.
+	resultSinks map[ids.ID]func(agg.Partial, int64, uint64)
 	// prevLeaf is the leafset membership at the last LeafsetChanged
 	// upcall, for detecting additions (see pullFromNewNeighbors).
 	prevLeaf map[simnet.Endpoint]bool
@@ -92,7 +94,7 @@ func NewNode(ring *pastry.Ring, ep simnet.Endpoint, id ids.ID,
 	n := &Node{
 		tables:           make(map[string]*relq.Table, len(tables)),
 		model:            model,
-		resultSinks:      make(map[ids.ID]func(agg.Partial, int64)),
+		resultSinks:      make(map[ids.ID]func(agg.Partial, int64, uint64)),
 		prevLeaf:         make(map[simnet.Endpoint]bool),
 		executed:         make(map[ids.ID]bool),
 		lastSubmitted:    make(map[ids.ID]agg.Partial),
@@ -155,22 +157,27 @@ func (n *Node) UnavailableInRange(lo, hi ids.ID) []*metadata.Record {
 
 // QueryObserved implements dissem.Host: execute the query locally and
 // submit the result into the aggregation tree, exactly once per uptime.
-func (n *Node) QueryObserved(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
-	n.tree.RegisterQuery(qid, q, injector)
-	n.executeAndSubmit(qid, q, injector)
+func (n *Node) QueryObserved(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) {
+	n.tree.RegisterQuery(qid, q, injector, cause)
+	n.executeAndSubmit(qid, q, injector, cause, obs.KindExec)
 }
 
 // executeAndSubmit runs a query against the local tables and submits the
 // partial result. Continuous queries additionally arm a periodic local
 // re-execution that resubmits whenever the local result changes — the
 // §3.4 continuous-query extension, riding the aggregation tree's versioned
-// exactly-once replacement.
-func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
+// exactly-once replacement. kind distinguishes the normal dissemination
+// path (KindExec) from the rejoin query-list handoff (KindAvailExec),
+// whose parent edge measures the availability wait.
+func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpoint,
+	cause uint64, kind obs.Kind) {
 	if n.executed[qid] {
 		return
 	}
 	n.executed[qid] = true
-	if !n.runLocal(qid, q, injector) {
+	span := n.pn.Ring().Obs().EmitSpan(cause, obs.Event{Kind: kind, Query: qid.Short(),
+		EP: int(n.pn.Endpoint())})
+	if !n.runLocal(qid, q, injector, span) {
 		return
 	}
 	if q.Continuous && n.continuousPeriod > 0 {
@@ -183,7 +190,7 @@ func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpo
 				return
 			}
 			if n.pn.Alive() {
-				n.runLocal(qid, q, injector)
+				n.runLocal(qid, q, injector, span)
 			}
 		})
 		n.contTimers[qid] = timer
@@ -193,7 +200,7 @@ func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpo
 // runLocal executes the query against local data and submits the result if
 // it differs from the last submission. It reports whether the table
 // existed and execution succeeded.
-func (n *Node) runLocal(qid ids.ID, q *relq.Query, injector simnet.Endpoint) bool {
+func (n *Node) runLocal(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) bool {
 	tbl, ok := n.tables[q.Table]
 	if !ok {
 		return false
@@ -206,15 +213,15 @@ func (n *Node) runLocal(qid ids.ID, q *relq.Query, injector simnet.Endpoint) boo
 		return true
 	}
 	n.lastSubmitted[qid] = part
-	n.tree.Submit(qid, part, q, injector)
+	n.tree.Submit(qid, part, q, injector, cause)
 	return true
 }
 
 // ResultDelivered implements aggtree.Host: route incremental results for
 // queries injected at this endsystem to their sinks.
-func (n *Node) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64) {
+func (n *Node) ResultDelivered(qid ids.ID, part agg.Partial, contributors int64, span uint64) {
 	if sink, ok := n.resultSinks[qid]; ok {
-		sink(part, contributors)
+		sink(part, contributors, span)
 	}
 }
 
@@ -234,14 +241,17 @@ func (n *Node) CancelQuery(qid ids.ID) {
 }
 
 // InjectQuery submits a query at this endsystem. NOW() is bound to the
-// local clock before dissemination. onPredictor is called once when the
-// aggregated completeness predictor arrives; onResult on every incremental
-// result update. The returned queryId identifies the query systemwide.
-func (n *Node) InjectQuery(q *relq.Query,
+// local clock before dissemination. cause is the span of the causally
+// preceding event (the query service's started event; 0 when none).
+// onPredictor is called once when the aggregated completeness predictor
+// arrives; onResult on every incremental result update, with the
+// delivering partial event's span. The returned queryId identifies the
+// query systemwide.
+func (n *Node) InjectQuery(q *relq.Query, cause uint64,
 	onPredictor func(*predictor.Predictor),
-	onResult func(agg.Partial, int64)) ids.ID {
+	onResult func(agg.Partial, int64, uint64)) ids.ID {
 	bound := q.BindNow(n.nowSeconds())
-	qid := n.dis.Inject(bound, onPredictor)
+	qid := n.dis.Inject(bound, cause, onPredictor)
 	if onResult != nil {
 		n.resultSinks[qid] = onResult
 	}
@@ -417,9 +427,13 @@ type queryListPull struct {
 }
 
 // queryListPush answers with the active queries and their injectors.
+// Spans carries, per query, the span under which the sender learned of
+// the query, so the receiver's avail_exec event chains onto the original
+// dissemination — the edge between them is the availability wait.
 type queryListPush struct {
 	Queries   map[ids.ID]*relq.Query
 	Injectors map[ids.ID]simnet.Endpoint
+	Spans     map[ids.ID]uint64
 }
 
 func (n *Node) handleQueryListPull(m *queryListPull) {
@@ -428,15 +442,19 @@ func (n *Node) handleQueryListPull(m *queryListPull) {
 		return
 	}
 	inj := make(map[ids.ID]simnet.Endpoint, len(qs))
+	spans := make(map[ids.ID]uint64, len(qs))
 	size := 8
 	for qid, q := range qs {
 		if ep, ok := n.tree.Injector(qid); ok {
 			inj[qid] = ep
 		}
+		if sp := n.tree.Cause(qid); sp != 0 {
+			spans[qid] = sp
+		}
 		size += ids.Bytes + len(q.Raw) + 8
 	}
 	n.pn.Ring().Network().Send(n.pn.Endpoint(), m.From, size, simnet.ClassQuery,
-		&queryListPush{Queries: qs, Injectors: inj})
+		&queryListPush{Queries: qs, Injectors: inj, Spans: spans})
 }
 
 func (n *Node) handleQueryListPush(m *queryListPush) {
@@ -450,7 +468,7 @@ func (n *Node) handleQueryListPush(m *queryListPush) {
 		if !ok {
 			continue
 		}
-		n.tree.RegisterQuery(qid, m.Queries[qid], inj)
-		n.executeAndSubmit(qid, m.Queries[qid], inj)
+		n.tree.RegisterQuery(qid, m.Queries[qid], inj, m.Spans[qid])
+		n.executeAndSubmit(qid, m.Queries[qid], inj, m.Spans[qid], obs.KindAvailExec)
 	}
 }

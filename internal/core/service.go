@@ -82,11 +82,15 @@ type ServicedQuery struct {
 	FinishedAt time.Duration
 	// Handle is the cluster handle, nil until the query starts.
 	Handle *QueryHandle
+	// span is the query's latest lifecycle span (queued or started), so
+	// the service's trace events chain admission → queue → inject.
+	span uint64
 }
 
 // QueryService is the lifecycle façade over one cluster.
 type QueryService struct {
 	c   *Cluster
+	o   *obs.Obs
 	seq int
 
 	gActive    *obs.Gauge
@@ -100,6 +104,7 @@ func NewQueryService(c *Cluster) *QueryService {
 	o := c.Obs()
 	return &QueryService{
 		c:          c,
+		o:          o,
 		gActive:    o.Gauge("queries_active"),
 		cAdmitted:  o.Counter("queries_admitted"),
 		cShed:      o.Counter("queries_shed"),
@@ -123,10 +128,16 @@ func (s *QueryService) Admit(from simnet.Endpoint, q *relq.Query, class string) 
 	return sq
 }
 
-// Enqueue moves an admitted query to queued (no budget for it yet).
+// Enqueue moves an admitted query to queued (no budget for it yet). The
+// queued event starts the query's causal chain: its queryId does not
+// exist yet (it is derived from the injection instant), so the event
+// carries the arrival sequence number and an empty Query, and the later
+// started/inject events link back to it by span.
 func (s *QueryService) Enqueue(sq *ServicedQuery) {
 	s.mustBe(sq, QueryAdmitted)
 	sq.State = QueryQueued
+	sq.span = s.o.EmitSpan(0, obs.Event{Kind: obs.KindQueued,
+		EP: int(sq.From), N: int64(sq.Seq)})
 }
 
 // Shed rejects an admitted or queued query; it is never injected.
@@ -137,6 +148,8 @@ func (s *QueryService) Shed(sq *ServicedQuery) {
 	sq.State = QueryShed
 	sq.FinishedAt = s.now()
 	s.cShed.Inc()
+	s.o.EmitSpan(sq.span, obs.Event{Kind: obs.KindShed,
+		EP: int(sq.From), N: int64(sq.Seq)})
 }
 
 // Start injects an admitted or queued query into the cluster and returns
@@ -148,7 +161,9 @@ func (s *QueryService) Start(sq *ServicedQuery) *QueryHandle {
 	}
 	sq.State = QueryRunning
 	sq.StartedAt = s.now()
-	sq.Handle = s.c.InjectQuery(sq.From, sq.Query)
+	sq.span = s.o.EmitSpan(sq.span, obs.Event{Kind: obs.KindStarted,
+		EP: int(sq.From), N: int64(sq.Seq)})
+	sq.Handle = s.c.InjectQueryCause(sq.From, sq.Query, sq.span)
 	s.gActive.Add(1)
 	sq.Handle.whenDone(func() {
 		if sq.State != QueryRunning {

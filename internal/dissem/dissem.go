@@ -84,8 +84,10 @@ type Host interface {
 	// QueryObserved tells the host a query reached this endsystem, so it
 	// can execute it locally and submit results (exactly once per query).
 	// injector is the endpoint that submitted the query, where incremental
-	// results are delivered.
-	QueryObserved(queryID ids.ID, q *relq.Query, injector simnet.Endpoint)
+	// results are delivered. cause is the span of the dissemination event
+	// that carried the query here (0 when tracing is off), so execution
+	// spans chain onto the dissemination tree.
+	QueryObserved(queryID ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64)
 }
 
 // Engine runs the dissemination protocol for one endsystem.
@@ -125,6 +127,7 @@ type pendingInject struct {
 	attempts    int
 	lastTimeout time.Duration
 	timer       *simnet.Timer
+	span        uint64 // span of the latest inject/retry event
 }
 
 // DebugContribute, when non-nil, observes every on-behalf-of contribution
@@ -183,16 +186,18 @@ func QueryID(q *relq.Query, at time.Duration) ids.ID {
 
 // Inject submits a query at this endsystem. onPredictor is invoked once
 // with the aggregated completeness predictor (typically seconds later).
-// It returns the queryId identifying the query systemwide.
-func (e *Engine) Inject(q *relq.Query, onPredictor func(*predictor.Predictor)) ids.ID {
+// cause is the span of the causally preceding event (the query service's
+// started event; 0 when the query arrives without one). It returns the
+// queryId identifying the query systemwide.
+func (e *Engine) Inject(q *relq.Query, cause uint64, onPredictor func(*predictor.Predictor)) ids.ID {
 	node := e.host.PastryNode()
 	now := node.Ring().Scheduler().Now()
 	qid := QueryID(q, now)
 	p := &pendingInject{cb: onPredictor, at: now, query: q}
 	e.waiting[qid] = p
 	e.cInjects.Inc()
-	e.o.Emit(obs.Event{Kind: obs.KindInject, Query: qid.Short(), EP: int(node.Endpoint())})
-	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint()}
+	p.span = e.o.EmitSpan(cause, obs.Event{Kind: obs.KindInject, Query: qid.Short(), EP: int(node.Endpoint())})
+	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint(), Cause: p.span}
 	node.Route(qid, msg, startMsgSize(q), simnet.ClassQuery)
 	e.armInjectRetry(qid, p)
 	return qid
@@ -209,7 +214,7 @@ func (e *Engine) armInjectRetry(qid ids.ID, p *pendingInject) {
 	node := e.host.PastryNode()
 	if p.attempts > 2*e.cfg.MaxRetries {
 		e.cGiveups.Inc()
-		e.o.Emit(obs.Event{Kind: obs.KindDissemGiveup, Query: qid.Short(),
+		e.o.EmitSpan(p.span, obs.Event{Kind: obs.KindDissemGiveup, Query: qid.Short(),
 			EP: int(node.Endpoint()), N: int64(p.attempts), V: 1.0})
 		return
 	}
@@ -221,9 +226,9 @@ func (e *Engine) armInjectRetry(qid ids.ID, p *pendingInject) {
 		}
 		p.attempts++
 		e.cReissues.Inc()
-		e.o.Emit(obs.Event{Kind: obs.KindDissemRetry, Query: qid.Short(),
+		p.span = e.o.EmitSpan(p.span, obs.Event{Kind: obs.KindDissemRetry, Query: qid.Short(),
 			EP: int(node.Endpoint()), N: int64(p.attempts)})
-		msg := &startMsg{QueryID: qid, Query: p.query, Injector: node.Endpoint()}
+		msg := &startMsg{QueryID: qid, Query: p.query, Injector: node.Endpoint(), Cause: p.span}
 		node.Route(qid, msg, startMsgSize(p.query), simnet.ClassQuery)
 		e.armInjectRetry(qid, p)
 	})
@@ -231,11 +236,17 @@ func (e *Engine) armInjectRetry(qid ids.ID, p *pendingInject) {
 
 // --------------------------------------------------------------- messages
 
+// The Cause field on each message is the span of the sender-side event
+// that caused the send (0 when tracing is off). It is trace metadata:
+// message wire sizes deliberately exclude it, as a real deployment would
+// carry trace context out of band or amortized into headers.
+
 // startMsg travels from the injector to the queryId root.
 type startMsg struct {
 	QueryID  ids.ID
 	Query    *relq.Query
 	Injector simnet.Endpoint
+	Cause    uint64
 }
 
 func startMsgSize(q *relq.Query) int { return ids.Bytes + 8 + len(q.Raw) }
@@ -248,6 +259,7 @@ type rangeMsg struct {
 	Lo, Hi   ids.ID
 	Parent   simnet.Endpoint // where to send the rangeResp
 	Injector simnet.Endpoint // the query's home, carried to every endsystem
+	Cause    uint64
 }
 
 func rangeMsgSize(q *relq.Query) int { return 3*ids.Bytes + 8 + len(q.Raw) }
@@ -257,6 +269,7 @@ type rangeResp struct {
 	QueryID ids.ID
 	Lo, Hi  ids.ID
 	Pred    *predictor.Predictor
+	Cause   uint64
 }
 
 func rangeRespSize() int { return 3*ids.Bytes + predictor.EncodedSize }
@@ -265,6 +278,7 @@ func rangeRespSize() int { return 3*ids.Bytes + predictor.EncodedSize }
 type predictorMsg struct {
 	QueryID ids.ID
 	Pred    *predictor.Predictor
+	Cause   uint64
 }
 
 // TraceQuery implements pastry.Traced, attributing routing events for
@@ -273,6 +287,13 @@ func (m *startMsg) TraceQuery() string     { return m.QueryID.Short() }
 func (m *rangeMsg) TraceQuery() string     { return m.QueryID.Short() }
 func (m *rangeResp) TraceQuery() string    { return m.QueryID.Short() }
 func (m *predictorMsg) TraceQuery() string { return m.QueryID.Short() }
+
+// TraceSpan implements pastry.TracedSpan, chaining per-hop routing
+// events (verbose traces) onto the sender's causal span.
+func (m *startMsg) TraceSpan() uint64     { return m.Cause }
+func (m *rangeMsg) TraceSpan() uint64     { return m.Cause }
+func (m *rangeResp) TraceSpan() uint64    { return m.Cause }
+func (m *predictorMsg) TraceSpan() uint64 { return m.Cause }
 
 // --------------------------------------------------------------- task
 
@@ -289,6 +310,7 @@ type subrange struct {
 	sentAt      time.Duration // when the latest request went out
 	lastTimeout time.Duration // timeout armed for the latest request
 	timer       *simnet.Timer
+	cause       uint64 // span of the latest send/retry event for this subrange
 }
 
 type task struct {
@@ -300,6 +322,11 @@ type task struct {
 	pending  []*subrange
 	open     int
 	finished bool
+	// span is this task's disseminate event; respCause is the span of the
+	// last contribution folded in — the child whose response completed the
+	// fan-in, i.e. the causal parent of the task's own response.
+	span      uint64
+	respCause uint64
 }
 
 // addParent registers a parent endpoint, deduplicated.
@@ -331,7 +358,7 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 			}
 			node := e.host.PastryNode()
 			e.hPredLat.ObserveDuration(node.Ring().Scheduler().Now() - p.at)
-			e.o.Emit(obs.Event{Kind: obs.KindPredict, Query: m.QueryID.Short(),
+			e.o.EmitSpan(m.Cause, obs.Event{Kind: obs.KindPredict, Query: m.QueryID.Short(),
 				EP: int(node.Endpoint()), V: m.Pred.ExpectedTotal()})
 			if p.cb != nil {
 				p.cb(m.Pred)
@@ -346,18 +373,17 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 // handleStart runs at the queryId root: begin the broadcast over the full
 // namespace, with the injector as the parent of the root range.
 func (e *Engine) handleStart(m *startMsg) {
-	e.o.Emit(obs.Event{Kind: obs.KindDisseminate, Query: m.QueryID.Short(),
-		EP: int(e.host.PastryNode().Endpoint())})
-	e.beginTask(m.QueryID, m.Query, ids.ID{}, ids.MaxID, m.Injector, m.Injector)
+	e.beginTask(m.QueryID, m.Query, ids.ID{}, ids.MaxID, m.Injector, m.Injector, m.Cause)
 }
 
 func (e *Engine) handleRange(m *rangeMsg) {
-	e.beginTask(m.QueryID, m.Query, m.Lo, m.Hi, m.Parent, m.Injector)
+	e.beginTask(m.QueryID, m.Query, m.Lo, m.Hi, m.Parent, m.Injector, m.Cause)
 }
 
 // beginTask starts (or re-answers) the aggregation task for one range.
-func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, injector simnet.Endpoint) {
-	e.observe(qid, q, injector)
+// cause is the span of the message (or local recursion) that requested
+// the range.
+func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, injector simnet.Endpoint, cause uint64) {
 	key := taskKey{qid: qid, lo: lo, hi: hi}
 	if t, ok := e.tasks[key]; ok {
 		// Duplicate request (a reissue, or a new parent after the old one
@@ -369,7 +395,11 @@ func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, inj
 		return
 	}
 	t := &task{key: key, query: q, parents: []simnet.Endpoint{parent}, injector: injector}
+	t.span = e.o.EmitSpan(cause, obs.Event{Kind: obs.KindDisseminate, Query: qid.Short(),
+		EP: int(e.host.PastryNode().Endpoint())})
+	t.respCause = t.span
 	e.tasks[key] = t
+	e.observe(qid, q, injector, t.span)
 
 	node := e.host.PastryNode()
 	self := node.ID()
@@ -392,6 +422,7 @@ func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, inj
 			s.local = true
 			selfSub = s
 		}
+		s.cause = t.span
 		t.pending = append(t.pending, s)
 	}
 	t.open = len(t.pending)
@@ -404,7 +435,7 @@ func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, inj
 		// Local recursion: handle the self subrange as a child task whose
 		// parent is this node itself; its response arrives synchronously
 		// through handleResp.
-		e.beginTask(qid, q, selfSub.lo, selfSub.hi, node.Endpoint(), injector)
+		e.beginTask(qid, q, selfSub.lo, selfSub.hi, node.Endpoint(), injector, t.span)
 	}
 	if t.open == 0 {
 		// Degenerate: arity split produced nothing (cannot happen for
@@ -416,12 +447,12 @@ func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, inj
 }
 
 // observe triggers the host's local execution exactly once per query.
-func (e *Engine) observe(qid ids.ID, q *relq.Query, injector simnet.Endpoint) {
+func (e *Engine) observe(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) {
 	if e.seen[qid] {
 		return
 	}
 	e.seen[qid] = true
-	e.host.QueryObserved(qid, q, injector)
+	e.host.QueryObserved(qid, q, injector, cause)
 }
 
 // aloneInRange reports whether, per the local leafset, this node is the
@@ -460,7 +491,7 @@ func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 		}
 		e.cOnBehalf.Inc()
 		if e.o.Detail() {
-			e.o.EmitDetail(obs.Event{Kind: obs.KindOnBehalf, Query: t.key.qid.Short(),
+			e.o.EmitSpanDetail(t.span, obs.Event{Kind: obs.KindOnBehalf, Query: t.key.qid.Short(),
 				EP: int(node.Endpoint()), V: rows})
 		}
 		t.acc.AddModel(rec.Model, now, rec.DownSince, rows)
@@ -480,7 +511,7 @@ func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 func (e *Engine) sendSubrange(t *task, s *subrange) {
 	node := e.host.PastryNode()
 	msg := &rangeMsg{QueryID: t.key.qid, Query: t.query, Lo: s.lo, Hi: s.hi,
-		Parent: node.Endpoint(), Injector: t.injector}
+		Parent: node.Endpoint(), Injector: t.injector, Cause: s.cause}
 	e.cRangeMsgs.Inc()
 	// Arm the attempt state BEFORE routing: Route can deliver locally and
 	// answer synchronously (a self-routed midpoint resolving to a leaf),
@@ -594,10 +625,10 @@ func (e *Engine) subrangeTimeout(t *task, s *subrange) {
 		s.done = true
 		t.open--
 		e.cAbandoned.Inc()
-		e.o.Emit(obs.Event{Kind: obs.KindDissemAbandon, Query: t.key.qid.Short(),
+		s.cause = e.o.EmitSpan(s.cause, obs.Event{Kind: obs.KindDissemAbandon, Query: t.key.qid.Short(),
 			EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries)})
 		e.cGiveups.Inc()
-		e.o.Emit(obs.Event{Kind: obs.KindDissemGiveup, Query: t.key.qid.Short(),
+		e.o.EmitSpan(s.cause, obs.Event{Kind: obs.KindDissemGiveup, Query: t.key.qid.Short(),
 			EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries),
 			V: rangeFraction(s.lo, s.hi)})
 		e.maybeFinish(t)
@@ -605,7 +636,7 @@ func (e *Engine) subrangeTimeout(t *task, s *subrange) {
 	}
 	s.retries++
 	e.cReissues.Inc()
-	e.o.Emit(obs.Event{Kind: obs.KindDissemRetry, Query: t.key.qid.Short(),
+	s.cause = e.o.EmitSpan(s.cause, obs.Event{Kind: obs.KindDissemRetry, Query: t.key.qid.Short(),
 		EP: int(e.host.PastryNode().Endpoint()), N: int64(s.retries)})
 	e.sendSubrange(t, s)
 }
@@ -635,6 +666,12 @@ func (e *Engine) handleResp(m *rangeResp) {
 				}
 				t.acc.Merge(m.Pred)
 				t.open--
+				// The response that completes the fan-in is the task's
+				// critical child; its span becomes the causal parent of
+				// this task's own response.
+				if m.Cause != 0 {
+					t.respCause = m.Cause
+				}
 				e.maybeFinish(t)
 				return
 			}
@@ -670,13 +707,13 @@ func (e *Engine) respond(t *task) {
 		case t.key.lo.IsZero() && t.key.hi == ids.MaxID:
 			// Root task: deliver the final predictor to the injector.
 			net.Send(node.Endpoint(), parent, ids.Bytes+predictor.EncodedSize,
-				simnet.ClassQuery, &predictorMsg{QueryID: t.key.qid, Pred: &pred})
+				simnet.ClassQuery, &predictorMsg{QueryID: t.key.qid, Pred: &pred, Cause: t.respCause})
 		case parent == node.Endpoint():
 			// Self-recursion: deliver locally without a network hop.
-			e.handleResp(&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred})
+			e.handleResp(&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred, Cause: t.respCause})
 		default:
 			net.Send(node.Endpoint(), parent, rangeRespSize(), simnet.ClassQuery,
-				&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred})
+				&rangeResp{QueryID: t.key.qid, Lo: t.key.lo, Hi: t.key.hi, Pred: &pred, Cause: t.respCause})
 		}
 	}
 }

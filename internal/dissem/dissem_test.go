@@ -32,7 +32,9 @@ func (h *testHost) EstimateOwnRows(q *relq.Query) float64 { return h.rows }
 func (h *testHost) UnavailableInRange(lo, hi ids.ID) []*metadata.Record {
 	return h.meta.UnavailableInRange(lo, hi)
 }
-func (h *testHost) QueryObserved(qid ids.ID, q *relq.Query, injector simnet.Endpoint) { h.observed++ }
+func (h *testHost) QueryObserved(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) {
+	h.observed++
+}
 
 // Deliver dispatches to the engine first, then the metadata service.
 func (h *testHost) Deliver(key ids.ID, from simnet.Endpoint, payload any) {
@@ -115,7 +117,7 @@ func TestPredictorAllLive(t *testing.T) {
 
 	var got *predictor.Predictor
 	injectAt := c.sched.Now()
-	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.hosts[0].engine.Inject(testQuery, 0, func(p *predictor.Predictor) { got = p })
 	c.sched.RunUntil(injectAt + 2*time.Minute)
 	if got == nil {
 		t.Fatal("no predictor arrived")
@@ -134,7 +136,7 @@ func TestEveryNodeObservesQueryOnce(t *testing.T) {
 	n := 96
 	c := newCluster(t, n, 2, DefaultConfig())
 	c.sched.RunUntil(time.Minute)
-	c.hosts[5].engine.Inject(testQuery, func(*predictor.Predictor) {})
+	c.hosts[5].engine.Inject(testQuery, 0, func(*predictor.Predictor) {})
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	for i, h := range c.hosts {
 		if h.observed != 1 {
@@ -148,7 +150,7 @@ func TestPredictorLatencySeconds(t *testing.T) {
 	c.sched.RunUntil(time.Minute)
 	injectAt := c.sched.Now()
 	var arrived time.Duration
-	c.hosts[0].engine.Inject(testQuery, func(*predictor.Predictor) { arrived = c.sched.Now() })
+	c.hosts[0].engine.Inject(testQuery, 0, func(*predictor.Predictor) { arrived = c.sched.Now() })
 	c.sched.RunUntil(injectAt + time.Minute)
 	if arrived == 0 {
 		t.Fatal("no predictor")
@@ -181,7 +183,7 @@ func TestPredictorCoversUnavailableEndsystems(t *testing.T) {
 	c.sched.RunUntil(c.sched.Now() + 10*time.Minute)
 
 	var got *predictor.Predictor
-	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.hosts[0].engine.Inject(testQuery, 0, func(p *predictor.Predictor) { got = p })
 	c.sched.RunUntil(c.sched.Now() + 2*time.Minute)
 	if got == nil {
 		t.Fatal("no predictor")
@@ -213,7 +215,7 @@ func TestBinaryArity(t *testing.T) {
 	c := newCluster(t, n, 5, Config{Arity: 2, ResponseTimeout: 5 * time.Second, MaxRetries: 3})
 	c.sched.RunUntil(time.Minute)
 	var got *predictor.Predictor
-	c.hosts[1].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.hosts[1].engine.Inject(testQuery, 0, func(p *predictor.Predictor) { got = p })
 	c.sched.RunUntil(c.sched.Now() + 5*time.Minute)
 	if got == nil {
 		t.Fatal("no predictor with binary tree")
@@ -233,7 +235,7 @@ func TestChurnDuringDissemination(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	injectAt := c.sched.Now()
 	var got *predictor.Predictor
-	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.hosts[0].engine.Inject(testQuery, 0, func(p *predictor.Predictor) { got = p })
 	// Kill 5 random nodes within the dissemination window.
 	for i := 0; i < 5; i++ {
 		victim := 1 + rng.Intn(n-1)
@@ -324,7 +326,7 @@ func TestSingleNodeQuery(t *testing.T) {
 	c := newCluster(t, 1, 9, DefaultConfig())
 	c.sched.RunUntil(time.Second)
 	var got *predictor.Predictor
-	c.hosts[0].engine.Inject(testQuery, func(p *predictor.Predictor) { got = p })
+	c.hosts[0].engine.Inject(testQuery, 0, func(p *predictor.Predictor) { got = p })
 	c.sched.RunUntil(c.sched.Now() + time.Minute)
 	if got == nil {
 		t.Fatal("single-node query produced no predictor")

@@ -74,7 +74,9 @@ func runSeries(s Scale, name string, n int, run func(i int, sc Scale) any) []any
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if s.Obs.Tracing() {
+	if s.Obs.Tracing() || s.Obs.Sampling() {
+		// Neither trace events nor time-series samples can be merged after
+		// the fact: both are ordered streams on the shared layer.
 		workers = 1
 	}
 	serialShared := s.Obs != nil && (workers == 1 || n == 1)

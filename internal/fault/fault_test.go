@@ -351,3 +351,39 @@ func TestReportRendering(t *testing.T) {
 		t.Fatal("report with violations OK")
 	}
 }
+
+// The flight recorder freezes the most recent trace events at the first
+// violation — later events must not evict them — and FillReport ships
+// them in the chaos report.
+func TestCheckerFlightRecorder(t *testing.T) {
+	c := NewChecker(nil)
+	if c.FlightRecording() != nil {
+		t.Fatal("flight recording before any violation")
+	}
+	// More events than the ring holds: only the most recent survive.
+	for i := 0; i < FlightRecorderDepth+100; i++ {
+		c.ObserveEvent(obs.Event{Kind: obs.KindPartial, N: int64(i)})
+	}
+	c.Violate(InvariantExactlyOnce, "boom")
+	rec := c.FlightRecording()
+	if len(rec) != FlightRecorderDepth {
+		t.Fatalf("flight recording holds %d events, want %d", len(rec), FlightRecorderDepth)
+	}
+	if first := rec[0].N; first != 100 {
+		t.Fatalf("oldest retained event N=%d, want 100", first)
+	}
+	if last := rec[len(rec)-1].N; last != int64(FlightRecorderDepth+99) {
+		t.Fatalf("newest retained event N=%d, want %d", last, FlightRecorderDepth+99)
+	}
+	// Post-violation events do not evict the frozen recording.
+	c.ObserveEvent(obs.Event{Kind: obs.KindCancel, N: 9999})
+	c.Violate(InvariantCompleteness, "again")
+	if got := c.FlightRecording(); got[len(got)-1].N == 9999 {
+		t.Fatal("frozen recording was overwritten by post-violation events")
+	}
+	var r Report
+	c.FillReport(&r)
+	if len(r.FlightRecorder) != FlightRecorderDepth {
+		t.Fatalf("report carries %d flight events, want %d", len(r.FlightRecorder), FlightRecorderDepth)
+	}
+}

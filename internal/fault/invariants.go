@@ -51,7 +51,19 @@ type Checker struct {
 	violations []Violation
 	verdicts   []InvariantVerdict
 	seen       map[obs.Kind]int
+
+	// recorder is the always-on flight recorder: a bounded ring of the
+	// most recent trace events, costing fixed memory no matter how long
+	// the run. On the first violation its contents are frozen into
+	// flight, so the report shows the virtual-time moments that led up
+	// to the failure even when no trace file was requested.
+	recorder *obs.RingSink
+	flight   []obs.Event
 }
+
+// FlightRecorderDepth is how many recent trace events the checker's
+// always-on flight recorder retains.
+const FlightRecorderDepth = 512
 
 // NewChecker returns a checker timestamping violations with now (pass the
 // scheduler's Now; nil timestamps everything 0).
@@ -59,7 +71,11 @@ func NewChecker(now func() time.Duration) *Checker {
 	if now == nil {
 		now = func() time.Duration { return 0 }
 	}
-	return &Checker{now: now, seen: make(map[obs.Kind]int)}
+	return &Checker{
+		now:      now,
+		seen:     make(map[obs.Kind]int),
+		recorder: obs.NewRingSink(FlightRecorderDepth),
+	}
 }
 
 // Record implements obs.Sink so the checker can observe the event stream
@@ -69,6 +85,7 @@ func (c *Checker) Record(ev obs.Event) { c.ObserveEvent(ev) }
 // ObserveEvent feeds one trace event to the checker. Fault-injection
 // kinds are counted for the trace-visibility invariant.
 func (c *Checker) ObserveEvent(ev obs.Event) {
+	c.recorder.Record(ev)
 	switch ev.Kind {
 	case obs.KindFaultPartition, obs.KindFaultBurst, obs.KindFaultJitter,
 		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultCrash,
@@ -104,6 +121,12 @@ func (c *Checker) ObserveResult(query string, rows, truth float64, contributors,
 func (c *Checker) Violate(invariant, detail string) {
 	v := Violation{At: c.now(), Invariant: invariant, Detail: detail}
 	c.violations = append(c.violations, v)
+	if c.flight == nil {
+		// Freeze the flight recorder at the first violation: later events
+		// (including the aftermath of this failure) must not evict the
+		// moments that led up to it.
+		c.flight = c.recorder.Events()
+	}
 	if c.FatalOnViolation {
 		panic(fmt.Sprintf("fault invariant %s violated at %s: %s", invariant, v.At, detail))
 	}
@@ -180,7 +203,12 @@ func (c *Checker) Verdicts() []InvariantVerdict { return c.verdicts }
 func (c *Checker) FillReport(r *Report) {
 	r.Invariants = append(r.Invariants, c.verdicts...)
 	r.Violations = append(r.Violations, c.violations...)
+	r.FlightRecorder = append(r.FlightRecorder, c.flight...)
 }
+
+// FlightRecording returns the events frozen at the first violation (nil
+// on clean runs).
+func (c *Checker) FlightRecording() []obs.Event { return c.flight }
 
 // FanoutSink tees trace events to the checker and an optional downstream
 // sink, letting -trace output coexist with the always-on checker.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // InjectionRecord is the as-executed log of one injection: when it
@@ -55,6 +57,11 @@ type Report struct {
 	Queries    []QueryVerdict     `json:"queries,omitempty"`
 	Invariants []InvariantVerdict `json:"invariants,omitempty"`
 	Violations []Violation        `json:"violations,omitempty"`
+	// FlightRecorder is the checker's bounded ring of the most recent
+	// trace events at the instant of the first invariant violation —
+	// the virtual-time moments leading up to the failure, captured even
+	// on runs that never asked for a trace file. Empty on clean runs.
+	FlightRecorder []obs.Event `json:"flight_recorder,omitempty"`
 }
 
 // OK reports whether the run passed: no recorded violations and every

@@ -21,6 +21,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -84,17 +85,58 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// histBuckets is one bucket per possible bit length of a non-negative
-// int64, plus bucket 0 for the value 0: bucket i (i >= 1) holds values v
-// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
-const histBuckets = 65
+// Histogram bucketing is log-linear (HDR-style): each power of two is
+// split into histSubBuckets linear sub-buckets, bounding the relative
+// quantile error at 1/histSubBuckets (~6%) instead of the factor-of-two
+// error of pure log2 buckets, while keeping Observe O(1) and memory
+// fixed.
+//
+// Values below histSubBuckets (bit length <= histSubShift+1) get one
+// exact bucket each: bucket v for value v. Larger values with bit length
+// L live in bucket histSubBuckets + (L-histSubShift-1)*histSubBuckets +
+// sub, where sub is the histSubShift bits following the leading one —
+// i.e. the bucket covers [2^(L-1) + sub*2^(L-1-histSubShift),
+// 2^(L-1) + (sub+1)*2^(L-1-histSubShift)).
+const (
+	histSubShift   = 4                // log2 of sub-buckets per power of two
+	histSubBuckets = 1 << histSubShift // 16
+	// histBuckets covers bit lengths histSubShift+1 .. 64 (60 of them)
+	// with histSubBuckets buckets each, plus the histSubBuckets exact low
+	// buckets.
+	histBuckets = histSubBuckets + (64-histSubShift)*histSubBuckets
+)
 
-// Histogram is a log2-bucketed histogram of non-negative int64 values.
-// Durations are recorded as nanoseconds; plain counts (hops, depths,
-// retries) record the count itself. Log bucketing keeps recording O(1)
-// and memory fixed while spanning the nine orders of magnitude between a
-// LAN hop (~100µs) and a multi-day availability wait. The nil histogram
-// is a valid no-op.
+// histIndex maps a non-negative value to its bucket index.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	l := bits.Len64(u) // >= histSubShift+1
+	sub := int(u>>(l-histSubShift-1)) & (histSubBuckets - 1)
+	return histSubBuckets + (l-histSubShift-1)*histSubBuckets + sub
+}
+
+// histBounds returns the [lo, hi) value range of a bucket as floats
+// (float math sidesteps overflow at bit length 64).
+func histBounds(i int) (lo, hi float64) {
+	if i < histSubBuckets {
+		return float64(i), float64(i + 1)
+	}
+	l := (i-histSubBuckets)/histSubBuckets + histSubShift + 1
+	sub := (i - histSubBuckets) % histSubBuckets
+	width := math.Ldexp(1, l-histSubShift-1)
+	lo = math.Ldexp(1, l-1) + float64(sub)*width
+	return lo, lo + width
+}
+
+// Histogram is a log-linear-bucketed histogram of non-negative int64
+// values. Durations are recorded as nanoseconds; plain counts (hops,
+// depths, retries) record the count itself. Log-linear bucketing keeps
+// recording O(1) and memory fixed while spanning the nine orders of
+// magnitude between a LAN hop (~100µs) and a multi-day availability
+// wait, with quantiles accurate to ~1/16. The nil histogram is a valid
+// no-op.
 type Histogram struct {
 	count    uint64
 	sum      float64
@@ -118,7 +160,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += float64(v)
-	h.buckets[bits.Len64(uint64(v))]++
+	h.buckets[histIndex(v)]++
 }
 
 // ObserveDuration records a virtual-time duration as nanoseconds.
@@ -177,11 +219,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if cum+n > rank {
-			if i == 0 {
-				return 0
-			}
-			lo := math.Ldexp(1, i-1) // 2^(i-1)
-			hi := math.Ldexp(1, i)   // 2^i
+			lo, hi := histBounds(i)
 			frac := (rank - cum) / n
 			v := lo + frac*(hi-lo)
 			if v < float64(h.min) {
@@ -343,6 +381,60 @@ func (r *Registry) WriteSummary(w io.Writer) {
 	}
 }
 
+// histogramJSON is the machine-readable rendering of one histogram.
+type histogramJSON struct {
+	Count    uint64  `json:"count"`
+	Mean     float64 `json:"mean"`
+	Min      int64   `json:"min"`
+	Max      int64   `json:"max"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+	Duration bool    `json:"duration,omitempty"`
+}
+
+// registryJSON is the machine-readable rendering of a registry.
+type registryJSON struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]histogramJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry as one indented JSON object — the
+// machine-readable counterpart of WriteSummary. Map keys are sorted by
+// the encoder, so the output is deterministic for a given registry
+// state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := registryJSON{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]histogramJSON),
+	}
+	if r != nil {
+		for name, c := range r.counters {
+			out.Counters[name] = c.Value()
+		}
+		for name, g := range r.gauges {
+			out.Gauges[name] = g.Value()
+		}
+		for name, h := range r.histograms {
+			out.Histograms[name] = histogramJSON{
+				Count:    h.Count(),
+				Mean:     h.Mean(),
+				Min:      h.Min(),
+				Max:      h.Max(),
+				P50:      h.Quantile(0.50),
+				P90:      h.Quantile(0.90),
+				P99:      h.Quantile(0.99),
+				Duration: r.durations[name],
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // fmtNS renders a nanosecond quantity as a rounded duration.
 func fmtNS(ns float64) time.Duration {
 	d := time.Duration(ns)
@@ -372,6 +464,14 @@ type Obs struct {
 	reg   *Registry
 	tr    *Tracer
 	clock func() time.Duration
+	// spans is the span-id allocator for causal trace events. Ids are
+	// only handed out while a tracer is attached, so the spans-off fast
+	// path never touches it.
+	spans uint64
+	// sampler, when set, asks the simulation harness to stream periodic
+	// registry snapshots (see SetSampler and timeseries.go).
+	sampler       *SampleWriter
+	samplerPeriod time.Duration
 }
 
 // New returns an enabled observability layer: metrics on, tracing off
@@ -475,4 +575,66 @@ func (o *Obs) EmitDetail(ev Event) {
 	}
 	ev.T = o.now()
 	o.tr.Record(ev)
+}
+
+// EmitSpan records ev with a freshly allocated span id and the given
+// parent link, returning the span id for use as the parent of causally
+// subsequent events. Without an attached tracer it records nothing and
+// returns 0 — the "no span" value — so instrumentation sites can thread
+// the returned cause unconditionally at zero cost when spans are off.
+func (o *Obs) EmitSpan(parent uint64, ev Event) uint64 {
+	if o == nil || o.tr == nil {
+		return 0
+	}
+	o.spans++
+	ev.Span = o.spans
+	ev.Parent = parent
+	ev.T = o.now()
+	o.tr.Record(ev)
+	return ev.Span
+}
+
+// EmitSpanDetail is EmitSpan for high-frequency events: it allocates and
+// records only on a verbose tracer, returning parent unchanged otherwise
+// so the causal chain stays connected around the dropped event.
+func (o *Obs) EmitSpanDetail(parent uint64, ev Event) uint64 {
+	if o == nil || o.tr == nil || !o.tr.Verbose {
+		return parent
+	}
+	o.spans++
+	ev.Span = o.spans
+	ev.Parent = parent
+	ev.T = o.now()
+	o.tr.Record(ev)
+	return ev.Span
+}
+
+// SetSampler asks the simulation harness to stream a registry snapshot
+// to w every period of virtual time (see Sample in timeseries.go). The
+// harness — core.NewCluster — arms the periodic timer; obs only carries
+// the request, keeping it free of scheduler dependencies. Pass nil to
+// disable. Like an attached tracer, an attached sampler makes the Obs
+// order-sensitive: the experiment runner serializes runs that share it.
+func (o *Obs) SetSampler(w *SampleWriter, period time.Duration) {
+	if o == nil {
+		return
+	}
+	o.sampler = w
+	o.samplerPeriod = period
+}
+
+// Sampler returns the attached sample writer and period (nil, 0 when
+// sampling is off).
+func (o *Obs) Sampler() (*SampleWriter, time.Duration) {
+	if o == nil {
+		return nil, 0
+	}
+	return o.sampler, o.samplerPeriod
+}
+
+// Sampling reports whether a time-series sampler is attached. Like
+// Tracing, runners use it to serialize runs that share this Obs: samples
+// from concurrent runs would interleave in the output stream.
+func (o *Obs) Sampling() bool {
+	return o != nil && o.sampler != nil && o.samplerPeriod > 0
 }

@@ -50,33 +50,47 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
-// TestHistogramBucketing pins the log2 bucket boundaries: 0 is its own
-// bucket, and each value v >= 1 lands in bucket bits.Len(v), i.e.
-// [2^(i-1), 2^i).
+// TestHistogramBucketing pins the HDR-style log-linear boundaries:
+// values below 16 are exact (one bucket each), and every power-of-two
+// range [2^(l-1), 2^l) above that splits into 16 equal sub-buckets, so
+// relative bucket width never exceeds 1/16.
 func TestHistogramBucketing(t *testing.T) {
 	h := &Histogram{}
-	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 33, 1023, 1024} {
 		h.Observe(v)
 	}
 	wantBuckets := map[int]uint64{
-		0:  1, // value 0
-		1:  1, // value 1
-		2:  2, // values 2,3
-		3:  2, // values 4,7
-		4:  1, // value 8
-		10: 1, // value 1023
-		11: 1, // value 1024
+		0:   1, // value 0 (exact region)
+		1:   1, // value 1
+		2:   1, // value 2
+		3:   1, // value 3
+		4:   1, // value 4
+		7:   1, // value 7
+		8:   1, // value 8
+		15:  1, // value 15
+		16:  1, // value 16: first sub-bucket of [16,32)
+		31:  1, // value 31: last sub-bucket of [16,32)
+		32:  2, // values 32,33: [32,34), first sub-bucket of [32,64)
+		111: 1, // value 1023: last sub-bucket of [512,1024)
+		112: 1, // value 1024: first sub-bucket of [1024,2048)
 	}
 	for i, want := range wantBuckets {
 		if h.buckets[i] != want {
 			t.Errorf("bucket %d = %d, want %d", i, h.buckets[i], want)
 		}
 	}
-	if h.Count() != 9 {
-		t.Fatalf("count = %d, want 9", h.Count())
+	if h.Count() != 14 {
+		t.Fatalf("count = %d, want 14", h.Count())
 	}
 	if h.Min() != 0 || h.Max() != 1024 {
 		t.Fatalf("min/max = %d/%d, want 0/1024", h.Min(), h.Max())
+	}
+	// Bucket bounds invert the index mapping across the full range.
+	for _, v := range []int64{0, 5, 16, 100, 1 << 20, 1<<40 + 12345} {
+		lo, hi := histBounds(histIndex(v))
+		if float64(v) < lo || float64(v) >= hi {
+			t.Errorf("value %d outside its bucket bounds [%g,%g)", v, lo, hi)
+		}
 	}
 }
 
@@ -94,8 +108,12 @@ func TestHistogramQuantiles(t *testing.T) {
 		h2.Observe(int64(i))
 	}
 	p50 := h2.Quantile(0.50)
-	if p50 < 256 || p50 > 1024 {
-		t.Fatalf("p50 of U[0,1000) = %g, want within its log2 bucket [256,1024)", p50)
+	if p50 < 470 || p50 > 530 {
+		t.Fatalf("p50 of U[0,1000) = %g, want within ~6%% of 500", p50)
+	}
+	p99 := h2.Quantile(0.99)
+	if p99 < 930 || p99 > 999 {
+		t.Fatalf("p99 of U[0,1000) = %g, want within ~6%% of 990", p99)
 	}
 	if got := h2.Quantile(0); got != 0 {
 		t.Fatalf("q=0 should be min, got %g", got)

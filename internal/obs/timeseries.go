@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Sample is one virtual-time telemetry point: a snapshot of the
+// simulation's load signals taken on a fixed period. Live, Backlog and
+// Events come from the simulation harness (the scheduler); the query
+// signals are read out of the registry by the gauge and counter names
+// the query-service layer maintains. Samples stream to JSONL so a run's
+// load shape — queue growth, shed bursts, event-rate spikes — can be
+// plotted against virtual time after the fact.
+type Sample struct {
+	// T is the virtual instant the sample was taken.
+	T time.Duration `json:"t"`
+	// Live is the number of endsystems currently up.
+	Live int `json:"live"`
+	// Backlog is the number of pending events in the scheduler.
+	Backlog int `json:"backlog"`
+	// Events is the cumulative count of executed simulation events.
+	Events uint64 `json:"events"`
+	// EventsPerSec is the event execution rate per virtual second since
+	// the previous sample.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// QueueDepth is the query service's scheduling-queue depth.
+	QueueDepth float64 `json:"queue_depth"`
+	// ActiveQueries is the number of queries currently running.
+	ActiveQueries float64 `json:"active_queries"`
+	// Admitted, Shed and Cancelled are the service's cumulative query
+	// counts.
+	Admitted  uint64 `json:"admitted"`
+	Shed      uint64 `json:"shed"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// Snapshot assembles a sample at virtual instant t from the registry
+// plus the harness-supplied scheduler signals.
+func (o *Obs) Snapshot(t time.Duration, live, backlog int, events uint64, perSec float64) Sample {
+	r := o.Registry()
+	return Sample{
+		T:             t,
+		Live:          live,
+		Backlog:       backlog,
+		Events:        events,
+		EventsPerSec:  perSec,
+		QueueDepth:    r.Gauge("qserve_queue_depth").Value(),
+		ActiveQueries: r.Gauge("queries_active").Value(),
+		Admitted:      r.Counter("queries_admitted").Value(),
+		Shed:          r.Counter("queries_shed").Value(),
+		Cancelled:     r.Counter("queries_cancelled").Value(),
+	}
+}
+
+// SampleWriter streams samples as JSON lines. Like JSONLSink it buffers
+// and latches the first write error; call Flush when the run finishes.
+type SampleWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewSampleWriter returns a writer streaming one JSON object per line
+// to w.
+func NewSampleWriter(w io.Writer) *SampleWriter {
+	bw := bufio.NewWriter(w)
+	return &SampleWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one sample.
+func (s *SampleWriter) Write(sm Sample) {
+	if s.err == nil {
+		s.err = s.enc.Encode(sm)
+	}
+}
+
+// Flush drains buffered output and returns the first write error, if
+// any.
+func (s *SampleWriter) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// ReadSamples parses a time-series JSONL stream back into samples.
+// Blank lines are skipped; a malformed line is an error naming its line
+// number.
+func ReadSamples(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var sm Sample
+		if err := json.Unmarshal(b, &sm); err != nil {
+			return nil, fmt.Errorf("obs: timeseries line %d: %w", line, err)
+		}
+		out = append(out, sm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

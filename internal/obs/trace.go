@@ -15,6 +15,19 @@ import (
 type Kind string
 
 const (
+	// KindQueued marks a query admitted by the query service and placed in
+	// the scheduling queue. The query id does not exist yet (it is derived
+	// from the injection time), so Query is empty and N carries the
+	// service's arrival sequence number; span links connect the queued
+	// event to the later inject.
+	KindQueued Kind = "queued"
+	// KindShed marks a query rejected by admission control. N is the
+	// arrival sequence number. Shed queries never inject, so this is a
+	// terminal event.
+	KindShed Kind = "shed"
+	// KindStarted marks a queued query leaving the queue and starting
+	// injection. N is the arrival sequence number.
+	KindStarted Kind = "started"
 	// KindInject marks a query's submission at its injector endsystem.
 	KindInject Kind = "inject"
 	// KindDisseminate marks one dissemination range task starting at an
@@ -38,9 +51,21 @@ const (
 	// KindPredict marks the aggregated completeness predictor reaching the
 	// injector. V is the predictor's expected total row count.
 	KindPredict Kind = "predict"
+	// KindExec marks an endsystem executing the query against its local
+	// tables after observing it through dissemination. N is the local row
+	// count scanned.
+	KindExec Kind = "exec"
+	// KindAvailExec marks an endsystem executing a query it learned about
+	// from a neighbor's query-list push after rejoining the overlay — the
+	// availability-wait path: the edge from its parent span measures how
+	// long the query waited for this endsystem to come back.
+	KindAvailExec Kind = "avail_exec"
 	// KindSubmit marks an endsystem submitting its local result into the
 	// aggregation tree. N is the contribution version.
 	KindSubmit Kind = "submit"
+	// KindAggResubmit marks an unacknowledged aggregation-tree submission
+	// being resent after a timeout. N is the resend attempt.
+	KindAggResubmit Kind = "agg_resubmit"
 	// KindPartial marks an incremental result update reaching the
 	// injector. N is the number of contributing endsystems, V the
 	// aggregated row count.
@@ -112,13 +137,23 @@ const (
 // ("" otherwise). EP is the endpoint at which the event happened (-1 when
 // no single endpoint applies). N and V carry the kind-specific count and
 // value documented on each Kind.
+//
+// Span and Parent link events into a causal tree: Span is this event's
+// unique id within the trace (allocated by Obs.EmitSpan, 0 when the event
+// carries no span) and Parent is the span of the event that causally
+// preceded it — the message send it answers, the timer that armed it, the
+// phase it continues. Walking Parent links from a terminal event back to
+// the root reconstructs the query's critical path; internal/obs/causal
+// turns that walk into a per-phase delay decomposition.
 type Event struct {
-	T     time.Duration `json:"t"`
-	Kind  Kind          `json:"kind"`
-	Query string        `json:"query,omitempty"`
-	EP    int           `json:"ep"`
-	N     int64         `json:"n,omitempty"`
-	V     float64       `json:"v,omitempty"`
+	T      time.Duration `json:"t"`
+	Kind   Kind          `json:"kind"`
+	Query  string        `json:"query,omitempty"`
+	EP     int           `json:"ep"`
+	N      int64         `json:"n,omitempty"`
+	V      float64       `json:"v,omitempty"`
+	Span   uint64        `json:"span,omitempty"`
+	Parent uint64        `json:"parent,omitempty"`
 }
 
 // Sink receives recorded events.

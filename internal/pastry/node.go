@@ -234,7 +234,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		// the drop must be visible: a silently vanishing message has
 		// repeatedly masked routing-loop bugs.
 		n.ring.cHopDrops.Inc()
-		n.ring.o.Emit(obs.Event{Kind: obs.KindRouteDrop,
+		n.ring.o.EmitSpan(env.span, obs.Event{Kind: obs.KindRouteDrop,
 			Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		if n.ring.cfg.DebugLog {
 			log.Printf("pastry: dropped route to %s at ep %d: hop limit %d exceeded",
@@ -247,7 +247,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 	if selfIsRoot {
 		n.ring.hHops.Observe(int64(env.Hops))
 		if n.ring.o.Detail() {
-			n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteDeliver,
+			n.ring.o.EmitSpanDetail(env.span, obs.Event{Kind: obs.KindRouteDeliver,
 				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		}
 		key, payload := env.Key, env.Payload
@@ -263,7 +263,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		// per-hop ack timeout.
 		n.ring.cStale.Inc()
 		if n.ring.o.Detail() {
-			n.ring.o.EmitDetail(obs.Event{Kind: obs.KindRouteRetry,
+			env.span = n.ring.o.EmitSpanDetail(env.span, obs.Event{Kind: obs.KindRouteRetry,
 				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		}
 		n.ring.net.AccountAggregate(n.ep, env.Class, size, 0)

@@ -112,6 +112,23 @@ func traceQuery(payload any) string {
 	return ""
 }
 
+// TracedSpan is implemented by routed payloads that carry a causal span:
+// per-hop routing events (verbose traces) chain onto the sender-side
+// event that caused the send, so a route's hop sequence appears as a
+// chain inside the query's span tree.
+type TracedSpan interface {
+	// TraceSpan returns the payload's causal span (0 when untraced).
+	TraceSpan() uint64
+}
+
+// traceSpan returns the causal span of a payload, or 0.
+func traceSpan(payload any) uint64 {
+	if t, ok := payload.(TracedSpan); ok {
+		return t.TraceSpan()
+	}
+	return 0
+}
+
 // refBytes is the wire size of one NodeRef in protocol messages.
 const refBytes = ids.Bytes + 4
 
@@ -130,6 +147,7 @@ type routeEnvelope struct {
 	Size    int // application payload wire size
 	Class   simnet.Class
 	Hops    int
+	span    uint64         // causal span of the payload's send (0 untraced)
 	next    *routeEnvelope // Ring free list
 }
 

@@ -65,7 +65,8 @@ func (r *Ring) getEnv(key ids.ID, payload any, size int, class simnet.Class) *ro
 	} else {
 		r.envFree = e.next
 	}
-	*e = routeEnvelope{Key: key, Payload: payload, Size: size, Class: class}
+	*e = routeEnvelope{Key: key, Payload: payload, Size: size, Class: class,
+		span: traceSpan(payload)}
 	return e
 }
 

@@ -145,6 +145,7 @@ type Service struct {
 	peakOpen      int
 	ewma          map[string]time.Duration // template name -> t90 estimate
 	o             *obs.Obs
+	gQueueDepth   *obs.Gauge // qserve_queue_depth: current scheduler queue length
 }
 
 // NewService attaches a query service to a running cluster.
@@ -155,6 +156,7 @@ func NewService(cfg Config, c *core.Cluster) *Service {
 		ewma:      make(map[string]time.Duration),
 		o:         c.Obs(),
 	}
+	s.gQueueDepth = s.o.Gauge("qserve_queue_depth")
 	for _, load := range cfg.Workload.Loads {
 		for _, t := range load.Templates {
 			if _, ok := s.templates[t.Name]; !ok {
@@ -259,6 +261,7 @@ func (s *Service) arrive(a Arrival) {
 	s.svc.Enqueue(t.sq)
 	t.queued = s.sched.Now()
 	s.queue = append(s.queue, t)
+	s.gQueueDepth.Set(float64(len(s.queue)))
 	s.open++
 	if s.open > s.peakOpen {
 		s.peakOpen = s.open
@@ -339,6 +342,7 @@ func (s *Service) pump() {
 		}
 		t := s.queue[idx]
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.gQueueDepth.Set(float64(len(s.queue)))
 		s.start(t)
 	}
 }
