@@ -120,7 +120,33 @@ func writeClusterBench(cur clusterBenchMetrics) error {
 	if cur.AllocsPerEvent > 0 {
 		sum.AllocDropX = sum.Baseline.AllocsPerEvent / cur.AllocsPerEvent
 	}
-	data, err := json.MarshalIndent(sum, "", "  ")
+	return writeBenchEntry("cluster_steady_state", sum)
+}
+
+// writeBenchEntry read-modify-writes one named entry of BENCH_cluster.json,
+// which holds one JSON object per benchmark (the serial N=2000 steady-state
+// run and the sharded N=100k scaling run) so `make cluster-bench` and
+// `make cluster-bench-sharded` can refresh their own numbers independently.
+func writeBenchEntry(key string, entry any) error {
+	entries := map[string]json.RawMessage{}
+	if data, err := os.ReadFile("BENCH_cluster.json"); err == nil {
+		if json.Unmarshal(data, &entries) != nil || entries["label"] != nil {
+			// Pre-multi-entry format: a single steady-state summary object.
+			entries = map[string]json.RawMessage{}
+			var legacy clusterBenchSummary
+			if json.Unmarshal(data, &legacy) == nil && legacy.Label != "" {
+				if raw, err := json.Marshal(legacy); err == nil {
+					entries["cluster_steady_state"] = raw
+				}
+			}
+		}
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	entries[key] = raw
+	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,134 @@
+// BenchmarkClusterSharded100k is the sharded-engine scaling benchmark: an
+// N=100,000-endsystem packet-level cluster driven through a short horizon
+// on the region-sharded engine, once at GOMAXPROCS=1 (the serial
+// execution of the sharded window schedule) and once at GOMAXPROCS=8.
+// Both runs execute the identical event sequence — the engine is
+// byte-deterministic across worker counts — so the events/s ratio is a
+// pure parallel-speedup measurement. `make cluster-bench-sharded`
+// persists the result as the "sharded_100k" entry of BENCH_cluster.json.
+//
+// TestShardedMillionSmoke (env-gated, `make shard-smoke`) is the memory
+// ceiling check: an N=1,000,000 cluster must construct and complete a
+// short horizon in-process.
+package seaweed
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+const (
+	benchSharded100kN       = 100_000
+	benchSharded100kHorizon = 30 * time.Minute
+	benchShardedWorkers     = 8
+)
+
+type shardedBenchRun struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+type shardedBenchSummary struct {
+	Label     string            `json:"label"`
+	N         int               `json:"endsystems"`
+	HorizonNS int64             `json:"horizon_ns"`
+	Shards    int               `json:"shards"`
+	NumCPU    int               `json:"num_cpu"`
+	Runs      []shardedBenchRun `json:"runs"`
+	// ScalingX is events/s at the highest GOMAXPROCS over events/s at
+	// GOMAXPROCS=1. On a single-CPU host this measures scheduling overhead,
+	// not parallelism — Note says so when that is the case.
+	ScalingX float64 `json:"scaling_x_gomaxprocs_8_vs_1"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// runSharded100k builds the N=100k cluster and drives it to the bench
+// horizon, returning the executed-event count and wall time.
+func runSharded100k(b *testing.B, trace *AvailabilityTrace) (uint64, time.Duration) {
+	b.Helper()
+	c := New(WithTrace(trace), WithSeed(7), WithShards(benchShardedWorkers),
+		WithFlowsPerDay(5), WithConfig(func(cfg *ClusterConfig) {
+			cfg.Net.PerEndpointStats = false
+			cfg.Pastry.LazyTables = true
+		}))
+	runtime.GC()
+	start := time.Now()
+	c.RunUntil(benchSharded100kHorizon)
+	return c.Sched.Executed(), time.Since(start)
+}
+
+func BenchmarkClusterSharded100k(b *testing.B) {
+	trace := FarsiteTrace(benchSharded100kN, time.Hour, 7)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	sum := shardedBenchSummary{
+		Label:     "sharded-100k-scaling",
+		N:         benchSharded100kN,
+		HorizonNS: int64(benchSharded100kHorizon),
+		Shards:    benchShardedWorkers,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for i := 0; i < b.N; i++ {
+		sum.Runs = sum.Runs[:0]
+		for _, gmp := range []int{1, benchShardedWorkers} {
+			runtime.GOMAXPROCS(gmp)
+			events, wall := runSharded100k(b, trace)
+			run := shardedBenchRun{GOMAXPROCS: gmp, Events: events, WallSeconds: wall.Seconds()}
+			if wall > 0 {
+				run.EventsPerSec = float64(events) / wall.Seconds()
+			}
+			sum.Runs = append(sum.Runs, run)
+			b.Logf("gomaxprocs=%d: %d events in %v (%.0f events/s)", gmp, events, wall, run.EventsPerSec)
+		}
+		if sum.Runs[0].Events != sum.Runs[1].Events {
+			b.Fatalf("event counts diverge across gomaxprocs: %d vs %d — determinism broken",
+				sum.Runs[0].Events, sum.Runs[1].Events)
+		}
+	}
+	if sum.Runs[0].EventsPerSec > 0 {
+		sum.ScalingX = sum.Runs[len(sum.Runs)-1].EventsPerSec / sum.Runs[0].EventsPerSec
+	}
+	if sum.NumCPU < benchShardedWorkers {
+		sum.Note = "host has fewer CPUs than workers; scaling_x measures engine overhead, not parallel speedup"
+	}
+	b.ReportMetric(sum.Runs[len(sum.Runs)-1].EventsPerSec, "events/sec")
+	b.ReportMetric(sum.ScalingX, "scaling-x")
+	if err := writeBenchEntry("sharded_100k", sum); err != nil {
+		b.Logf("BENCH_cluster.json not written: %v", err)
+	}
+}
+
+// TestShardedMillionSmoke is the N=10^6 memory-and-liveness smoke: the
+// full cluster — trace, overlay, datasets, availability churn — must
+// construct and run a short horizon on the sharded engine without
+// exhausting memory. Env-gated because construction alone takes minutes;
+// `make shard-smoke` (and the CI shard-smoke job) runs it.
+func TestShardedMillionSmoke(t *testing.T) {
+	if os.Getenv("SEAWEED_SHARD_SMOKE") == "" {
+		t.Skip("set SEAWEED_SHARD_SMOKE=1 to run the N=1M smoke")
+	}
+	const n = 1_000_000
+	trace := FarsiteTrace(n, time.Hour, 7)
+	c := New(WithTrace(trace), WithSeed(7), WithShards(benchShardedWorkers),
+		WithFlowsPerDay(2), WithConfig(func(cfg *ClusterConfig) {
+			cfg.Net.PerEndpointStats = false
+			cfg.Pastry.LazyTables = true
+		}))
+	if live := c.NumLive(); live < n/10 {
+		t.Fatalf("only %d of %d endsystems live after bootstrap", live, n)
+	}
+	start := time.Now()
+	c.RunUntil(5 * time.Minute)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("N=1M: %d events in %v, %d live, heap %.1f GiB",
+		c.Sched.Executed(), time.Since(start), c.NumLive(), float64(ms.HeapAlloc)/(1<<30))
+	if c.Sched.Executed() == 0 {
+		t.Fatal("no events executed")
+	}
+}

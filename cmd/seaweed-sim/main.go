@@ -37,7 +37,15 @@
 //
 // -parallel N fans independent simulation runs across N workers of the
 // deterministic engine (0 = all cores); results are byte-identical at any
-// worker count. -smoke shrinks every dimension for CI smoke tests.
+// worker count. -shards N instead parallelizes INSIDE each run: the
+// simnet is partitioned by router region into per-shard timer wheels
+// advanced with conservative lookahead by up to N workers, and results
+// are byte-identical at any N >= 1 (N = 0 keeps the classic serial
+// wheel). The two compose — -parallel fills cores across runs, -shards
+// fills cores within one big run — but -shards refuses flags whose
+// shared state would pin it back to one worker (-trace, -timeseries,
+// -chaos, -workload) rather than silently degrading. -smoke shrinks
+// every dimension for CI smoke tests.
 //
 // The trace file is JSONL, one query-lifecycle event per line, with
 // causal span links; summarize it with `seaweed-trace -query t.jsonl` or
@@ -76,6 +84,7 @@ func main() {
 	all := flag.Bool("all", false, "run every simulation figure")
 	sweep := flag.Bool("sweep", false, "run the Figures 5–8 completeness sweep through the parallel engine")
 	parallel := flag.Int("parallel", 0, "engine workers for independent runs (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-engine workers inside each simulation run: 0 = classic serial wheel, >=1 = region-sharded engine (byte-identical results at any value >= 1); orthogonal to -parallel, which fans whole runs; incompatible with -trace, -timeseries, -chaos and -workload")
 	smoke := flag.Bool("smoke", false, "shrink every dimension for a fast smoke run")
 	benchPath := flag.String("bench", "", "write the engine perf summary (BENCH_runner.json) to this path")
 	outPrefix := flag.String("out", "", "write sweep records to <out>.jsonl and <out>.csv")
@@ -94,6 +103,29 @@ func main() {
 	if *cpuProfile != "" && *profileRuns != "" {
 		fmt.Fprintln(os.Stderr, "seaweed-sim: -cpuprofile and -profileruns are mutually exclusive (one CPU profile at a time)")
 		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "seaweed-sim: -shards must be >= 0")
+		os.Exit(2)
+	}
+	if *shards > 0 {
+		// These modes pin the sharded engine to one worker (shared tracer,
+		// sampler, fault-hook or query-service state): refuse the
+		// combination outright rather than silently degrading to serial.
+		switch {
+		case *tracePath != "":
+			fmt.Fprintln(os.Stderr, "seaweed-sim: -shards is incompatible with -trace (the tracer is a shared ordered sink and forces the engine serial); drop one of the two")
+			os.Exit(2)
+		case *timeseries != "":
+			fmt.Fprintln(os.Stderr, "seaweed-sim: -shards is incompatible with -timeseries (the sampler walks shared registry state and forces the engine serial); drop one of the two")
+			os.Exit(2)
+		case *chaos != "":
+			fmt.Fprintln(os.Stderr, "seaweed-sim: -shards is incompatible with -chaos (the fault injector and invariant checker share cross-shard state and force the engine serial); drop one of the two")
+			os.Exit(2)
+		case *workload != "":
+			fmt.Fprintln(os.Stderr, "seaweed-sim: -shards is incompatible with -workload (the query service's admission control is cross-shard state and forces the engine serial); drop one of the two")
+			os.Exit(2)
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -121,6 +153,7 @@ func main() {
 	}
 	s.Seed = *seed
 	s.Workers = *parallel
+	s.Shards = *shards
 	s.ProfileDir = *profileRuns
 	stats := &runner.Stats{}
 	s.RunnerStats = stats

@@ -29,7 +29,8 @@ func run(label string, trace *seaweed.AvailabilityTrace) {
 	fmt.Printf("mean availability %.2f, departures per online endsystem-second %.2g\n",
 		st.MeanAvailability, st.DeparturesPerOnlineSecond)
 
-	cluster := seaweed.NewCluster(trace,
+	cluster := seaweed.New(
+		seaweed.WithTrace(trace),
 		seaweed.WithSeed(3),
 		seaweed.WithFlowsPerDay(100))
 

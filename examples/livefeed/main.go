@@ -19,7 +19,8 @@ func main() {
 	horizon := 2 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 9)
 
-	cluster := seaweed.NewCluster(trace,
+	cluster := seaweed.New(
+		seaweed.WithTrace(trace),
 		seaweed.WithSeed(9),
 		seaweed.WithFlowsPerDay(200),
 		seaweed.WithFeed(20*time.Minute),

@@ -18,7 +18,8 @@ func main() {
 	const endsystems = 300
 	horizon := 4 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 7)
-	cluster := seaweed.NewCluster(trace,
+	cluster := seaweed.New(
+		seaweed.WithTrace(trace),
 		seaweed.WithSeed(7),
 		seaweed.WithFlowsPerDay(150))
 

@@ -19,7 +19,8 @@ func main() {
 	horizon := 3 * 24 * time.Hour
 	trace := seaweed.FarsiteTrace(endsystems, horizon, 42)
 
-	cluster := seaweed.NewCluster(trace,
+	cluster := seaweed.New(
+		seaweed.WithTrace(trace),
 		seaweed.WithSeed(42),
 		seaweed.WithFlowsPerDay(100)) // light synthetic Anemone workload
 

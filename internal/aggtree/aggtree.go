@@ -251,7 +251,7 @@ func (e *Engine) Reset() {
 func (e *Engine) RegisterQuery(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) {
 	if _, ok := e.queries[qid]; !ok {
 		e.queries[qid] = &queryInfo{query: q, injector: injector,
-			firstSeen: e.host.PastryNode().Ring().Scheduler().Now(), cause: cause}
+			firstSeen: e.host.PastryNode().Sched().Now(), cause: cause}
 	}
 }
 
@@ -316,7 +316,7 @@ func (e *Engine) CancelPropagate(qid ids.ID) {
 func (e *Engine) applyCancel(m *cancelMsg) {
 	info := e.queries[m.QID]
 	if info == nil {
-		info = &queryInfo{firstSeen: e.host.PastryNode().Ring().Scheduler().Now()}
+		info = &queryInfo{firstSeen: e.host.PastryNode().Sched().Now()}
 		e.queries[m.QID] = info
 	}
 	info.canceled = true
@@ -379,7 +379,7 @@ func (e *Engine) expired(info *queryInfo) bool {
 	if e.cfg.QueryTTL <= 0 {
 		return false
 	}
-	now := e.host.PastryNode().Ring().Scheduler().Now()
+	now := e.host.PastryNode().Sched().Now()
 	return now-info.firstSeen > e.cfg.QueryTTL
 }
 
@@ -528,7 +528,7 @@ func (e *Engine) armResubmit(qid ids.ID, version uint64, attempt int, span uint6
 	}
 	node := e.host.PastryNode()
 	st := &resubmitState{attempt: attempt, version: version}
-	st.timer = node.Ring().Scheduler().After(delay, func() {
+	st.timer = node.Sched().After(delay, func() {
 		if cur := e.resubmit[qid]; cur != st {
 			return
 		}
@@ -781,7 +781,7 @@ func (e *Engine) armRefresh(v *vertexState) {
 	}
 	node := e.host.PastryNode()
 	tick := 0
-	v.refresh = node.Ring().Scheduler().Every(e.cfg.RefreshPeriod, func() {
+	v.refresh = node.Sched().Every(e.cfg.RefreshPeriod, func() {
 		if !node.Alive() {
 			return
 		}

@@ -138,7 +138,7 @@ func (n *Node) Meta() *metadata.Service { return n.meta }
 func (n *Node) Alive() bool { return n.pn.Alive() }
 
 // now returns the current virtual time.
-func (n *Node) now() time.Duration { return n.pn.Ring().Scheduler().Now() }
+func (n *Node) now() time.Duration { return n.pn.Sched().Now() }
 
 // nowSeconds returns the current virtual time in whole seconds, the clock
 // queries see.
@@ -181,7 +181,7 @@ func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpo
 		return
 	}
 	if q.Continuous && n.continuousPeriod > 0 {
-		sched := n.pn.Ring().Scheduler()
+		sched := n.pn.Sched()
 		var timer *simnet.Timer
 		timer = sched.Every(n.continuousPeriod, func() {
 			if !n.tree.IsActive(qid) {
@@ -378,7 +378,7 @@ func (n *Node) startFeed() {
 		return
 	}
 	n.feed.SkipTo(n.now())
-	n.feedTimer = n.pn.Ring().Scheduler().Every(n.feedPeriod, n.feedTick)
+	n.feedTimer = n.pn.Sched().Every(n.feedPeriod, n.feedTick)
 }
 
 // onReady runs when the overlay join completes.

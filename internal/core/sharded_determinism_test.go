@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/obs"
+	"repro/internal/relq"
+	"repro/internal/simnet"
+)
+
+// shardedRun executes a full packet-level cluster — churn, maintenance,
+// one injected query — on the given engine configuration and returns
+// every observable output as bytes: the metrics registry JSON (sorted
+// keys), per-class traffic totals, the executed-event count, and the
+// query's result log. withTrace additionally attaches a JSONL tracer
+// (which pins the engine to one worker) and returns the trace stream.
+func shardedRun(t *testing.T, shards int, withTrace bool) (outputs, trace string) {
+	t.Helper()
+	tr := avail.GenerateFarsite(avail.DefaultFarsiteConfig(100, 36*time.Hour, 3))
+	cfg := DefaultClusterConfig(tr, 3)
+	cfg.Workload.MeanFlowsPerDay = 50
+	cfg.Shards = shards
+	o := obs.New()
+	var traceBuf bytes.Buffer
+	var sink *obs.JSONLSink
+	if withTrace {
+		sink = obs.NewJSONLSink(&traceBuf)
+		o.SetTracer(obs.NewTracer(sink))
+	}
+	cfg.Obs = o
+	c := NewCluster(cfg)
+
+	c.RunUntil(12 * time.Hour)
+	inj := findLiveInjector(t, c)
+	h := c.InjectQuery(inj, relq.MustParse("SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80"))
+	c.RunUntil(12*time.Hour + 15*time.Minute)
+	c.RunUntil(24 * time.Hour)
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "executed=%d live=%d injector=%d\n", c.Sched.Executed(), c.NumLive(), inj)
+	st := c.Net.Stats()
+	for _, cl := range []simnet.Class{simnet.ClassMaintenance, simnet.ClassQuery} {
+		fmt.Fprintf(&out, "class=%d tx=%v rx=%v\n", cl, st.TotalTx(cl), st.TotalRx(cl))
+	}
+	fmt.Fprintf(&out, "query=%s updates=%d\n", h.QueryID, len(h.Results))
+	for _, u := range h.Results {
+		fmt.Fprintf(&out, "  at=%d count=%d sum=%v contributors=%d\n",
+			u.At, u.Partial.Count, u.Partial.Sum, u.Contributors)
+	}
+	if h.Predictor != nil {
+		fmt.Fprintf(&out, "predictor at=%d total=%v\n", h.PredictorAt, h.Predictor.ExpectedTotal())
+	}
+	if err := o.Registry().WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.String(), traceBuf.String()
+}
+
+// diffLines reports the first line where two multi-line outputs differ.
+func diffLines(t *testing.T, label, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	al, bl := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s: outputs diverge at line %d:\n  a: %s\n  b: %s", label, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s: outputs diverge in length: %d vs %d lines", label, len(al), len(bl))
+}
+
+// TestShardedByteDeterminism is the PR's acceptance gate: a full cluster
+// run — metrics registry JSON, traffic stats, executed-event count, and
+// the complete query result log — is byte-identical between the serial
+// reference execution of the sharded schedule (Shards=1) and parallel
+// executions at higher worker counts, including one above the region
+// count.
+func TestShardedByteDeterminism(t *testing.T) {
+	ref, _ := shardedRun(t, 1, false)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+	for _, shards := range []int{2, 8} {
+		got, _ := shardedRun(t, shards, false)
+		diffLines(t, fmt.Sprintf("shards=1 vs shards=%d", shards), ref, got)
+	}
+}
+
+// TestShardedTraceDeterminism checks the tracer path: attaching a tracer
+// forces the engine to one worker for a globally ordered stream, and that
+// stream — along with the registry — must still be byte-identical between
+// Shards=1 and Shards=8, since the window schedule is worker-independent.
+func TestShardedTraceDeterminism(t *testing.T) {
+	refOut, refTrace := shardedRun(t, 1, true)
+	if len(refTrace) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	got, gotTrace := shardedRun(t, 8, true)
+	diffLines(t, "traced outputs shards=1 vs 8", refOut, got)
+	diffLines(t, "trace stream shards=1 vs 8", refTrace, gotTrace)
+}

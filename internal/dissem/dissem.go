@@ -191,7 +191,7 @@ func QueryID(q *relq.Query, at time.Duration) ids.ID {
 // queryId identifying the query systemwide.
 func (e *Engine) Inject(q *relq.Query, cause uint64, onPredictor func(*predictor.Predictor)) ids.ID {
 	node := e.host.PastryNode()
-	now := node.Ring().Scheduler().Now()
+	now := node.Sched().Now()
 	qid := QueryID(q, now)
 	p := &pendingInject{cb: onPredictor, at: now, query: q}
 	e.waiting[qid] = p
@@ -220,7 +220,7 @@ func (e *Engine) armInjectRetry(qid ids.ID, p *pendingInject) {
 	}
 	d := e.attemptTimeout(p.attempts, p.lastTimeout)
 	p.lastTimeout = d
-	p.timer = node.Ring().Scheduler().After(d, func() {
+	p.timer = node.Sched().After(d, func() {
 		if e.waiting[qid] != p || !node.Alive() {
 			return
 		}
@@ -357,7 +357,7 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 				p.timer.Cancel()
 			}
 			node := e.host.PastryNode()
-			e.hPredLat.ObserveDuration(node.Ring().Scheduler().Now() - p.at)
+			e.hPredLat.ObserveDuration(node.Sched().Now() - p.at)
 			e.o.EmitSpan(m.Cause, obs.Event{Kind: obs.KindPredict, Query: m.QueryID.Short(),
 				EP: int(node.Endpoint()), V: m.Pred.ExpectedTotal()})
 			if p.cb != nil {
@@ -473,7 +473,7 @@ func (e *Engine) aloneInRange(lo, hi ids.ID) bool {
 // metadata-derived predictors of unavailable endsystems in the range.
 func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 	node := e.host.PastryNode()
-	now := node.Ring().Scheduler().Now()
+	now := node.Sched().Now()
 	if node.ID().InRange(lo, hi) {
 		t.acc.AddImmediate(e.host.EstimateOwnRows(t.query))
 	}
@@ -517,7 +517,7 @@ func (e *Engine) sendSubrange(t *task, s *subrange) {
 	// answer synchronously (a self-routed midpoint resolving to a leaf),
 	// and the response path reads sentAt for the RTT sample and cancels
 	// the timer.
-	sched := node.Ring().Scheduler()
+	sched := node.Sched()
 	s.sentAt = sched.Now()
 	s.lastTimeout = e.attemptTimeout(s.retries, s.lastTimeout)
 	s.timer = sched.After(s.lastTimeout, func() {
@@ -662,7 +662,7 @@ func (e *Engine) handleResp(m *rangeResp) {
 				if s.retries == 0 && !s.local {
 					// Karn's rule: only unretried responses are unambiguous
 					// latency samples.
-					e.observeRTT(e.host.PastryNode().Ring().Scheduler().Now() - s.sentAt)
+					e.observeRTT(e.host.PastryNode().Sched().Now() - s.sentAt)
 				}
 				t.acc.Merge(m.Pred)
 				t.open--
@@ -689,7 +689,7 @@ func (e *Engine) maybeFinish(t *task) {
 	e.respond(t)
 	// Retain finished tasks briefly so reissued requests get the cached
 	// answer, then reclaim the memory.
-	sched := e.host.PastryNode().Ring().Scheduler()
+	sched := e.host.PastryNode().Sched()
 	sched.After(2*time.Minute, func() { delete(e.tasks, t.key) })
 }
 

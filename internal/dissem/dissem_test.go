@@ -51,7 +51,7 @@ func (h *testHost) LeafsetChanged() {
 }
 
 type cluster struct {
-	sched *simnet.Scheduler
+	sched simnet.Scheduler
 	ring  *pastry.Ring
 	hosts []*testHost
 }

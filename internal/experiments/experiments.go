@@ -50,6 +50,13 @@ type Scale struct {
 	// GOMAXPROCS, 1 = serial). Results are identical at any value; an
 	// attached tracer forces serial so the event stream stays whole.
 	Workers int
+	// Shards selects the event engine inside each simulation run: 0 keeps
+	// the classic serial wheel; >= 1 partitions the simnet by router
+	// region and advances the shards with up to Shards workers. Results
+	// are byte-identical at any value >= 1 (and differ from 0 only in the
+	// engine, not the model). Orthogonal to Workers, which fans whole
+	// independent runs.
+	Shards int
 	// RunnerStats, when non-nil, accumulates engine timing across every
 	// experiment run through it (for the BENCH_runner.json summary).
 	RunnerStats *runner.Stats

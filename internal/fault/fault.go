@@ -131,7 +131,7 @@ type geState struct {
 // implements simnet.FaultHook for the message-level faults. Install with
 // net.SetFaultHook(inj) and call Start once.
 type Injector struct {
-	sched    *simnet.Scheduler
+	sched    simnet.Scheduler
 	net      *simnet.Network
 	topo     *simnet.Topology
 	scenario Scenario

@@ -171,7 +171,7 @@ func (s *Service) Activate() {
 	}
 	s.pushOwn()
 	// Randomize the phase: first tick after U(0,period), then periodic.
-	sched := s.node.Ring().Scheduler()
+	sched := s.node.Sched()
 	first := time.Duration(s.rng.Int63n(int64(s.cfg.PushPeriod)))
 	sched.After(first, func() {
 		if !s.node.Alive() {
@@ -204,7 +204,7 @@ func (s *Service) pushOwn() {
 	if s.own == nil {
 		return
 	}
-	now := s.node.Ring().Scheduler().Now()
+	now := s.node.Sched().Now()
 	rec := s.own.clone()
 	rec.Version = now
 	rec.Up = true
@@ -282,7 +282,7 @@ func (s *Service) insert(rec *Record) {
 // members that just entered their replica sets, and evicting records this
 // node no longer stands anywhere near.
 func (s *Service) HandleLeafsetChanged() {
-	now := s.node.Ring().Scheduler().Now()
+	now := s.node.Sched().Now()
 	cur := make(map[ids.ID]pastry.NodeRef)
 	for _, m := range s.node.Leafset() {
 		cur[m.ID] = m

@@ -14,7 +14,7 @@ import (
 
 // harness wires a pastry ring where every node runs a metadata service.
 type harness struct {
-	sched    *simnet.Scheduler
+	sched    simnet.Scheduler
 	ring     *pastry.Ring
 	nodes    []*pastry.Node
 	services []*Service

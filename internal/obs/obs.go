@@ -16,8 +16,14 @@
 // in-memory ring or a JSONL sink. Tracing is opt-in; see the Tracer and
 // Event types in trace.go and the summarizer in summary.go.
 //
-// Like the simulator itself, the registry and tracer are single-threaded:
-// all updates happen from simulator events on one goroutine.
+// Metric handles (counters, gauges, histogram buckets) update with atomic
+// operations: under the sharded simulation engine (internal/simnet)
+// instrumentation fires concurrently from per-shard workers. All recorded
+// quantities are integers (counts, byte sizes, nanosecond durations), so
+// atomic integer accumulation also keeps every total independent of the
+// order shards interleave — which is what keeps metrics byte-identical
+// across worker counts. The tracer remains single-threaded: tracing forces
+// the engine serial (see simnet.Sharded.ForceSerial).
 package obs
 
 import (
@@ -27,26 +33,28 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing event count. The nil counter is a
 // valid no-op.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.n++
+		c.n.Add(1)
 	}
 }
 
 // Add adds d.
 func (c *Counter) Add(d uint64) {
 	if c != nil {
-		c.n += d
+		c.n.Add(d)
 	}
 }
 
@@ -55,25 +63,31 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return c.n.Load()
 }
 
 // Gauge is a last-written value. The nil gauge is a valid no-op.
 type Gauge struct {
-	v float64
+	bits atomic.Uint64 // math.Float64bits representation
 }
 
 // Set overwrites the gauge.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
 // Add adjusts the gauge by d.
 func (g *Gauge) Add(d float64) {
-	if g != nil {
-		g.v += d
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
 	}
 }
 
@@ -82,7 +96,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram bucketing is log-linear (HDR-style): each power of two is
@@ -98,7 +112,7 @@ func (g *Gauge) Value() float64 {
 // i.e. the bucket covers [2^(L-1) + sub*2^(L-1-histSubShift),
 // 2^(L-1) + (sub+1)*2^(L-1-histSubShift)).
 const (
-	histSubShift   = 4                // log2 of sub-buckets per power of two
+	histSubShift   = 4                 // log2 of sub-buckets per power of two
 	histSubBuckets = 1 << histSubShift // 16
 	// histBuckets covers bit lengths histSubShift+1 .. 64 (60 of them)
 	// with histSubBuckets buckets each, plus the histSubBuckets exact low
@@ -138,10 +152,16 @@ func histBounds(i int) (lo, hi float64) {
 // wait, with quantiles accurate to ~1/16. The nil histogram is a valid
 // no-op.
 type Histogram struct {
-	count    uint64
-	sum      float64
-	min, max int64
-	buckets  [histBuckets]uint64
+	count uint64
+	// sum is an integer: every recorded quantity is an integral count or
+	// nanosecond duration, and integer accumulation keeps the sum exact
+	// and order-independent across concurrent shard workers.
+	sum uint64
+	// minEnc holds min+1 (0 = no observations yet), so the zero-value
+	// histogram needs no sentinel initialization.
+	minEnc  uint64
+	max     int64
+	buckets [histBuckets]uint64
 }
 
 // Observe records one value. Negative values are clamped to 0.
@@ -152,15 +172,28 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	if h.count == 0 || v < h.min {
-		h.min = v
+	enc := uint64(v) + 1
+	for {
+		old := atomic.LoadUint64(&h.minEnc)
+		if old != 0 && old <= enc {
+			break
+		}
+		if atomic.CompareAndSwapUint64(&h.minEnc, old, enc) {
+			break
+		}
 	}
-	if v > h.max {
-		h.max = v
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if v <= old {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&h.max, old, v) {
+			break
+		}
 	}
-	h.count++
-	h.sum += float64(v)
-	h.buckets[histIndex(v)]++
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, uint64(v))
+	atomic.AddUint64(&h.buckets[histIndex(v)], 1)
 }
 
 // ObserveDuration records a virtual-time duration as nanoseconds.
@@ -171,15 +204,19 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return atomic.LoadUint64(&h.count)
 }
 
 // Mean returns the mean recorded value (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	return float64(atomic.LoadUint64(&h.sum)) / float64(n)
 }
 
 // Min returns the smallest recorded value (0 when empty).
@@ -187,7 +224,11 @@ func (h *Histogram) Min() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.min
+	enc := atomic.LoadUint64(&h.minEnc)
+	if enc == 0 {
+		return 0
+	}
+	return int64(enc - 1)
 }
 
 // Max returns the largest recorded value (0 when empty).
@@ -195,26 +236,28 @@ func (h *Histogram) Max() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.max
+	return atomic.LoadInt64(&h.max)
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
 // holding the rank-q sample and interpolating linearly within the
 // bucket's value range, clamped to the observed min and max.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil || h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
+	min, max := float64(h.Min()), float64(h.Max())
 	if q <= 0 {
-		return float64(h.min)
+		return min
 	}
 	if q >= 1 {
-		return float64(h.max)
+		return max
 	}
-	rank := q * float64(h.count-1)
+	rank := q * float64(count-1)
 	var cum float64
 	for i := 0; i < histBuckets; i++ {
-		n := float64(h.buckets[i])
+		n := float64(atomic.LoadUint64(&h.buckets[i]))
 		if n == 0 {
 			continue
 		}
@@ -222,17 +265,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo, hi := histBounds(i)
 			frac := (rank - cum) / n
 			v := lo + frac*(hi-lo)
-			if v < float64(h.min) {
-				v = float64(h.min)
+			if v < min {
+				v = min
 			}
-			if v > float64(h.max) {
-				v = float64(h.max)
+			if v > max {
+				v = max
 			}
 			return v
 		}
 		cum += n
 	}
-	return float64(h.max)
+	return max
 }
 
 // Registry is a named collection of metrics. Handles are get-or-create
@@ -240,6 +283,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 // them once and hold the pointer. The nil registry hands out nil (no-op)
 // handles.
 type Registry struct {
+	// mu guards the maps. Instrumentation sites fetch handles once at
+	// construction time, so get-or-create is a cold path; the lone
+	// mid-run creator is lazy per-query histogram naming, which must be
+	// safe when simulation events run on sharded workers.
+	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -263,6 +311,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -276,6 +326,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -289,6 +341,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
 		h = &Histogram{}
@@ -303,25 +357,44 @@ func (r *Registry) DurationHistogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
 	r.durations[name] = true
+	r.mu.Unlock()
 	return r.Histogram(name)
 }
 
-// merge folds another histogram into this one.
+// merge folds another histogram into this one. Merging happens after the
+// source's run has completed (the runner collects finished runs), so plain
+// reads of src with atomic updates of h suffice.
 func (h *Histogram) merge(src *Histogram) {
-	if src == nil || src.count == 0 {
+	if src == nil || src.Count() == 0 {
 		return
 	}
-	if h.count == 0 || src.min < h.min {
-		h.min = src.min
+	encMin := uint64(src.Min()) + 1
+	for {
+		old := atomic.LoadUint64(&h.minEnc)
+		if old != 0 && old <= encMin {
+			break
+		}
+		if atomic.CompareAndSwapUint64(&h.minEnc, old, encMin) {
+			break
+		}
 	}
-	if src.max > h.max {
-		h.max = src.max
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if src.Max() <= old {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&h.max, old, src.Max()) {
+			break
+		}
 	}
-	h.count += src.count
-	h.sum += src.sum
+	atomic.AddUint64(&h.count, src.Count())
+	atomic.AddUint64(&h.sum, atomic.LoadUint64(&src.sum))
 	for i := range h.buckets {
-		h.buckets[i] += src.buckets[i]
+		if n := atomic.LoadUint64(&src.buckets[i]); n != 0 {
+			atomic.AddUint64(&h.buckets[i], n)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package pastry
 import (
 	"log"
 	"slices"
+	"sort"
 	"time"
 
 	"repro/internal/ids"
@@ -21,7 +22,8 @@ type tableEntry struct {
 const maxHops = 64
 
 // Node is one overlay endsystem. All methods must be called from simulator
-// events (the simulation is single-threaded).
+// events on the node's own shard (the node is single-threaded under its
+// shard's wheel; with the serial engine that is the whole simulation).
 type Node struct {
 	ring  *Ring
 	ep    simnet.Endpoint
@@ -29,8 +31,19 @@ type Node struct {
 	app   Application
 	alive bool
 
-	leaf []NodeRef        // leafset: l/2 nearest per side, sorted by ID
-	rows [][16]tableEntry // routing table rows, allocated as needed
+	// sched is the node's shard wheel: the only scheduler its timers may
+	// use under the sharded engine. shard caches the shard index for
+	// free-list, rng, and liveness lookups on the message hot path.
+	sched simnet.Scheduler
+	shard int32
+
+	leaf []NodeRef   // leafset: l/2 nearest per side, sorted by ID
+	rows []*tableRow // routing table rows, arena-allocated as needed
+
+	// rowsReady distinguishes "no table yet" (LazyTables bootstrap;
+	// materialize on first use) from "table legitimately empty or built
+	// incrementally" (joined nodes, tiny overlays).
+	rowsReady bool
 
 	// OnReady, if set, is called once the node has joined the overlay and
 	// is routable (immediately for bootstrap starts, after the join
@@ -49,6 +62,13 @@ func (n *Node) Ring() *Ring { return n.ring }
 
 // Endpoint returns the node's network attachment.
 func (n *Node) Endpoint() simnet.Endpoint { return n.ep }
+
+// Sched returns the scheduler for this node's timers: its shard's wheel.
+// Layers above the overlay (metadata, dissemination, aggregation) must
+// schedule work that touches this node's state here, never on the
+// engine-level scheduler, or the work lands on the wrong shard under the
+// sharded engine.
+func (n *Node) Sched() simnet.Scheduler { return n.sched }
 
 // Ref returns the node's NodeRef.
 func (n *Node) Ref() NodeRef { return NodeRef{ID: n.id, EP: n.ep} }
@@ -91,7 +111,7 @@ func (n *Node) AppendReplicaSet(dst []NodeRef, k int) []NodeRef {
 // ground-truth index must already contain the full initial population
 // (see Ring.BootstrapAll).
 func (n *Node) StartBootstrap() {
-	n.alive = true
+	n.ring.setAlive(n, true)
 	n.joining = false
 	n.installState()
 	if n.OnReady != nil {
@@ -102,20 +122,56 @@ func (n *Node) StartBootstrap() {
 // installState fills the leafset and routing table from the ground truth.
 func (n *Node) installState() {
 	n.setLeafset(n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf))
-	n.rows, _ = n.ring.buildRoutingTable(n.id)
+	if n.ring.cfg.LazyTables {
+		n.rows = nil
+		n.rowsReady = false
+		return
+	}
+	n.rows, _ = n.ring.buildRoutingTable(n.id, n.ring.sh[n.shard].rng,
+		func() *tableRow { return n.ring.newRow(n.shard) })
+	n.rowsReady = true
+}
+
+// ensureRows materializes a lazily deferred routing table from the
+// current ground truth, keeping any entries learned from traffic in the
+// meantime where the ground-truth build left a hole.
+func (n *Node) ensureRows() {
+	n.rowsReady = true
+	learned := n.rows
+	n.rows, _ = n.ring.buildRoutingTable(n.id, n.ring.sh[n.shard].rng,
+		func() *tableRow { return n.ring.newRow(n.shard) })
+	for i, row := range learned {
+		for i >= len(n.rows) {
+			n.rows = append(n.rows, n.ring.newRow(n.shard))
+		}
+		for d := 0; d < 16; d++ {
+			if row[d].ok && !n.rows[i][d].ok {
+				n.rows[i][d] = row[d]
+			}
+		}
+	}
 }
 
 // BootstrapAll starts every node in eps simultaneously as the initial
-// overlay population.
+// overlay population. The live index is built in bulk — append all, sort
+// once — because inserting a sorted slice one element at a time is
+// quadratic, which at N=10^6 turns bootstrap into the dominant cost of a
+// run.
 func (r *Ring) BootstrapAll(eps []simnet.Endpoint) {
+	refs := make([]NodeRef, 0, len(eps))
 	for _, ep := range eps {
 		n := r.nodes[ep]
 		if n == nil {
 			panic("pastry: BootstrapAll on unknown endpoint")
 		}
 		n.alive = true
-		r.insertLive(n.Ref())
+		if r.aliveBits != nil {
+			r.aliveBits[ep] = true
+		}
+		refs = append(refs, n.Ref())
 	}
+	r.live = append(r.live, refs...)
+	sort.Slice(r.live, func(i, j int) bool { return r.live[i].ID.Less(r.live[j].ID) })
 	for _, ep := range eps {
 		r.nodes[ep].StartBootstrap()
 	}
@@ -131,12 +187,13 @@ func (n *Node) Start() {
 	if n.alive {
 		return
 	}
-	n.alive = true
+	n.ring.setAlive(n, true)
 	n.joining = true
 	n.leaf = nil
 	n.rows = nil
+	n.rowsReady = true // join transfers state eagerly
 	if n.ring.NumLive() == 0 {
-		n.ring.insertLive(n.Ref())
+		n.ring.noteJoined(n)
 		n.joining = false
 		if n.OnReady != nil {
 			n.OnReady()
@@ -153,7 +210,7 @@ func (n *Node) sendJoinRequest() {
 		return
 	}
 	if n.ring.NumLive() == 0 {
-		n.ring.insertLive(n.Ref())
+		n.ring.noteJoined(n)
 		n.joining = false
 		if n.OnReady != nil {
 			n.OnReady()
@@ -164,7 +221,7 @@ func (n *Node) sendJoinRequest() {
 	// not burn its whole retry timeout on a contact across the cut. The
 	// random draw is made regardless so the rng stream is identical with
 	// and without faults.
-	contact := n.ring.live[n.ring.rng.Intn(len(n.ring.live))]
+	contact := n.ring.live[n.ring.sh[n.shard].rng.Intn(len(n.ring.live))]
 	if !n.ring.reachable(n.ep, contact.EP) {
 		for _, ref := range n.ring.live {
 			if n.ring.reachable(n.ep, ref.EP) {
@@ -179,7 +236,7 @@ func (n *Node) sendJoinRequest() {
 	if timeout <= 0 {
 		timeout = 10 * n.ring.cfg.RetryTimeout
 	}
-	n.joinRetry = n.ring.sched.After(timeout, func() {
+	n.joinRetry = n.sched.After(timeout, func() {
 		n.ring.cJoinRetry.Inc()
 		n.sendJoinRequest()
 	})
@@ -187,14 +244,15 @@ func (n *Node) sendJoinRequest() {
 
 // Stop takes the node down silently (a crash or power-off). Failure
 // detection at its neighbors is modeled by scheduling notifications one to
-// two heartbeat periods later.
+// two heartbeat periods later; the notifications travel through
+// Network.CallAfter so each lands on its target's shard.
 func (n *Node) Stop() {
 	if !n.alive {
 		return
 	}
-	n.alive = false
 	ref := n.Ref()
-	n.ring.removeLive(ref)
+	n.ring.setAlive(n, false)
+	n.ring.noteLeft(n, ref)
 	n.joining = false
 	if n.joinRetry != nil {
 		n.joinRetry.Cancel()
@@ -203,11 +261,12 @@ func (n *Node) Stop() {
 	// The nodes holding this node in their leafsets — its lh successors
 	// and lh predecessors — learn of the death after the detection delay.
 	neighbors := n.ring.liveLeafNeighbors(n.ep, n.id, n.ring.cfg.LeafsetHalf)
+	rng := n.ring.sh[n.shard].rng
 	for _, nb := range neighbors {
 		nb := nb
 		delay := n.ring.cfg.HeartbeatPeriod +
-			time.Duration(n.ring.rng.Float64()*float64(n.ring.cfg.HeartbeatPeriod))
-		n.ring.sched.After(delay, func() {
+			time.Duration(rng.Float64()*float64(n.ring.cfg.HeartbeatPeriod))
+		n.ring.net.CallAfter(n.ep, nb.EP, delay, func() {
 			if m := n.ring.nodes[nb.EP]; m != nil && m.alive && m.id == nb.ID {
 				m.noteDead(ref)
 			}
@@ -223,7 +282,7 @@ func (n *Node) Route(key ids.ID, payload any, size int, class simnet.Class) {
 	if !n.alive {
 		return
 	}
-	n.forward(n.ring.getEnv(key, payload, size, class), n.ep)
+	n.forward(n.ring.getEnv(n.shard, key, payload, size, class), n.ep)
 }
 
 // forward advances an envelope one hop. origin is the endpoint of the
@@ -240,7 +299,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 			log.Printf("pastry: dropped route to %s at ep %d: hop limit %d exceeded",
 				env.Key.Short(), n.ep, maxHops)
 		}
-		n.ring.putEnv(env)
+		n.ring.putEnv(n.shard, env)
 		return
 	}
 	next, selfIsRoot := n.nextHop(env.Key)
@@ -251,13 +310,13 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		}
 		key, payload := env.Key, env.Payload
-		n.ring.putEnv(env)
+		n.ring.putEnv(n.shard, env)
 		n.app.Deliver(key, origin, payload)
 		return
 	}
 	env.Hops++
 	size := env.Size + envelopeOverhead
-	if !n.ring.isLive(next) {
+	if !n.ring.isLiveFrom(n.shard, next) {
 		// Stale entry: the transmission is wasted, and after a timeout the
 		// node removes the entry and reroutes — modeling MSPastry's
 		// per-hop ack timeout.
@@ -267,7 +326,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 				Query: traceQuery(env.Payload), EP: int(n.ep), N: int64(env.Hops)})
 		}
 		n.ring.net.AccountAggregate(n.ep, env.Class, size, 0)
-		n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
+		n.sched.After(n.ring.cfg.RetryTimeout, func() {
 			if !n.alive {
 				return
 			}
@@ -276,17 +335,18 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		})
 		return
 	}
-	n.ring.net.Send(n.ep, next.EP, size, env.Class, n.ring.getHop(env, origin, n.Ref()))
+	n.ring.net.Send(n.ep, next.EP, size, env.Class, n.ring.getHop(n.shard, env, origin, n.Ref()))
 }
 
 // hopMsg is the per-hop wrapper carrying an envelope between nodes. The
-// wrappers are pooled on the Ring (see Ring.getHop/putHop); the receiving
-// node recycles one as soon as it has copied the fields out.
+// wrappers are pooled per shard (see Ring.getHop/putHop); the receiving
+// node recycles one into its own shard's list as soon as it has copied
+// the fields out.
 type hopMsg struct {
 	Env    *routeEnvelope
 	Origin simnet.Endpoint
 	Sender NodeRef
-	next   *hopMsg // Ring free list
+	next   *hopMsg // per-shard free list
 }
 
 // SingleDelivery opts hop wrappers out of the duplication fault: the
@@ -326,6 +386,9 @@ func (n *Node) nextHop(key ids.ID) (next NodeRef, selfIsRoot bool) {
 		return closestOfLeafset()
 	}
 
+	if !n.rowsReady {
+		n.ensureRows()
+	}
 	plen := ids.CommonPrefixLen(key, n.id, b)
 	if plen < len(n.rows) {
 		e := n.rows[plen][key.Digit(plen, b)]
@@ -408,7 +471,7 @@ func (n *Node) HandleMessage(from simnet.Endpoint, payload any) {
 	switch m := payload.(type) {
 	case *hopMsg:
 		env, origin, sender := m.Env, m.Origin, m.Sender
-		n.ring.putHop(m)
+		n.ring.putHop(n.shard, m)
 		n.learn(sender)
 		n.forward(env, origin)
 	case *joinRequest:
@@ -447,7 +510,7 @@ func (n *Node) learn(ref NodeRef) {
 		if len(n.rows) >= 8 { // deeper rows are covered by the leafset
 			return
 		}
-		n.rows = append(n.rows, [16]tableEntry{})
+		n.rows = append(n.rows, n.ring.newRow(n.shard))
 	}
 	slot := &n.rows[plen][ref.ID.Digit(plen, b)]
 	if !slot.ok {
@@ -506,7 +569,7 @@ func (n *Node) repairLeafset() {
 	self := n.Ref()
 	for i := 0; i < 2 && i < len(n.leaf); i++ {
 		target := n.leaf[len(n.leaf)-1-i]
-		if n.ring.isLive(target) {
+		if n.ring.isLiveFrom(n.shard, target) {
 			n.ring.net.Send(n.ep, target.EP, refBytes+8, simnet.ClassPastry,
 				&leafsetPull{From: self})
 		}
@@ -548,22 +611,22 @@ func (n *Node) handleLeafsetPull(m *leafsetPull) {
 }
 
 // setLeafset installs the l/2 nearest candidates on each side of the node.
+// Dedup rides on the distance sort (equal clockwise distance from one
+// origin means equal ID), avoiding a map allocation on this
+// churn-frequency path.
 func (n *Node) setLeafset(cands []NodeRef) {
-	seen := make(map[ids.ID]NodeRef, len(cands))
+	all := make([]NodeRef, 0, len(cands))
 	for _, c := range cands {
 		if c.ID != n.id {
-			seen[c.ID] = c
+			all = append(all, c)
 		}
-	}
-	all := make([]NodeRef, 0, len(seen))
-	for _, c := range seen {
-		all = append(all, c)
 	}
 	// Sort by clockwise distance from self: successors first,
 	// predecessors (large clockwise distance) last.
 	slices.SortFunc(all, func(a, b NodeRef) int {
 		return n.id.Distance(a.ID).Cmp(n.id.Distance(b.ID))
 	})
+	all = slices.CompactFunc(all, func(a, b NodeRef) bool { return a.ID == b.ID })
 	lh := n.ring.cfg.LeafsetHalf
 	var leaf []NodeRef
 	if len(all) <= 2*lh {
@@ -594,10 +657,10 @@ func (n *Node) handleJoinRequest(req *joinRequest) {
 	}
 	next, selfIsRoot := n.nextHop(req.Joiner.ID)
 	if !selfIsRoot {
-		if !n.ring.isLive(next) {
+		if !n.ring.isLiveFrom(n.shard, next) {
 			size := refBytes + 16
 			n.ring.net.AccountAggregate(n.ep, simnet.ClassPastry, size, 0)
-			n.ring.sched.After(n.ring.cfg.RetryTimeout, func() {
+			n.sched.After(n.ring.cfg.RetryTimeout, func() {
 				if n.alive {
 					n.dropRef(next)
 					n.handleJoinRequest(req)
@@ -609,16 +672,19 @@ func (n *Node) handleJoinRequest(req *joinRequest) {
 		return
 	}
 	// Root: assemble the joiner's state. The rows come from the ground
-	// truth, modeling the state gathered along the join path.
+	// truth, modeling the state gathered along the join path; they are
+	// flattened into the reply and discarded, so they come from the plain
+	// heap rather than the table arena.
 	joiner := req.Joiner
-	rows, entries := n.ring.buildRoutingTable(joiner.ID)
+	rows, entries := n.ring.buildRoutingTable(joiner.ID, n.ring.sh[n.shard].rng,
+		func() *tableRow { return new(tableRow) })
 	leafset := n.ring.liveLeafNeighbors(joiner.EP, joiner.ID, n.ring.cfg.LeafsetHalf)
 	reply := &joinReply{Leafset: leafset, Rows: flattenRows(rows)}
 	size := 16 + (len(leafset)+entries)*refBytes
 	n.ring.net.Send(n.ep, joiner.EP, size, simnet.ClassPastry, reply)
 }
 
-func flattenRows(rows [][16]tableEntry) []NodeRef {
+func flattenRows(rows []*tableRow) []NodeRef {
 	var out []NodeRef
 	for i := range rows {
 		for d := 0; d < 16; d++ {
@@ -646,11 +712,11 @@ func (n *Node) handleJoinReply(reply *joinReply) {
 	for _, ref := range reply.Rows {
 		n.learn(ref)
 	}
-	n.ring.insertLive(n.Ref())
+	n.ring.noteJoined(n)
 	n.ring.o.Emit(obs.Event{Kind: obs.KindJoin, EP: int(n.ep)})
 	ann := &nodeAnnounce{Node: n.Ref()}
 	for _, m := range n.leaf {
-		if n.ring.isLive(m) {
+		if n.ring.isLiveFrom(n.shard, m) {
 			n.ring.net.Send(n.ep, m.EP, refBytes+8, simnet.ClassPastry, ann)
 		}
 	}

@@ -5,7 +5,7 @@ import (
 	"time"
 )
 
-func testNetwork(t *testing.T, n int, cfg NetworkConfig) (*Scheduler, *Network) {
+func testNetwork(t *testing.T, n int, cfg NetworkConfig) (*Wheel, *Network) {
 	t.Helper()
 	s := NewScheduler()
 	topo := UniformTopology(4, 10*time.Millisecond, time.Millisecond)

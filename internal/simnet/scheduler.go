@@ -72,19 +72,50 @@ type event struct {
 	payload  any
 }
 
-// Scheduler is a discrete-event scheduler with virtual time. The zero value
-// is not usable; call NewScheduler. Schedulers are not safe for concurrent
-// use: the entire simulation runs single-threaded in virtual time, which is
+// Scheduler is the discrete-event scheduling surface of the simulator:
+// schedule (At/After/Every), cancel (via the returned Timer), and advance
+// (Run/RunUntil). Two engines implement it: the single calendar Wheel that
+// every run used historically, and the Sharded engine (sharded.go) that
+// partitions endsystems by router region into per-shard wheels advanced
+// with conservative lookahead. Code written against Scheduler — fault
+// injection, obs sampling, the heap-oracle property test — runs unchanged
+// against both.
+type Scheduler interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// At schedules fn at absolute virtual time at (clamped to now).
+	At(at time.Duration, fn func()) *Timer
+	// After schedules fn d after the current virtual time.
+	After(d time.Duration, fn func()) *Timer
+	// Every schedules fn every period until the Timer is canceled.
+	Every(period time.Duration, fn func()) *Timer
+	// Pending returns the number of queued events (including lazily
+	// canceled ones).
+	Pending() int
+	// Executed returns the cumulative number of events executed.
+	Executed() uint64
+	// Run executes events until the queue is empty.
+	Run() int
+	// RunUntil executes events with timestamps <= deadline and advances
+	// the clock to deadline.
+	RunUntil(deadline time.Duration) int
+}
+
+// Wheel is the single-threaded calendar-wheel Scheduler. The zero value
+// is not usable; call NewWheel. Wheels are not safe for concurrent use:
+// a whole serial simulation runs single-threaded in virtual time, which is
 // what makes runs deterministic and reproducible. Parallel sweeps (see
 // internal/runner) give every run its own scheduler; RunUntil asserts this
 // single-driver discipline and panics if two goroutines ever drive the same
-// scheduler concurrently, turning a silent determinism bug into a loud one.
+// wheel concurrently, turning a silent determinism bug into a loud one.
+// (The Sharded engine drives one Wheel per shard, each from exactly one
+// worker per synchronization window.)
 //
 // Events execute in (time, schedule order) — the wheel preserves exactly
 // the time-then-FIFO guarantee of the original binary-heap queue, which is
 // what keeps equal-seed runs byte-identical at any sweep worker count
 // (TestSchedulerOrderOracle checks the wheel against a heap oracle).
-type Scheduler struct {
+type Wheel struct {
 	now      time.Duration
 	seq      uint64
 	tids     uint64
@@ -119,31 +150,45 @@ type Scheduler struct {
 	// running guards against concurrent (or re-entrant) RunUntil: one
 	// scheduler, one driving goroutine.
 	running atomic.Bool
+
+	// runCap is the active RunUntil deadline. The Sharded engine's solo
+	// fast path lowers it mid-run (from within a dispatched event, same
+	// goroutine) when the running shard emits a cross-shard operation that
+	// shrinks its safe horizon; see Sharded.enqueue.
+	runCap time.Duration
 }
 
-// NewScheduler returns a scheduler whose clock starts at 0.
-func NewScheduler() *Scheduler {
-	return &Scheduler{}
+// NewWheel returns a calendar-wheel scheduler whose clock starts at 0.
+func NewWheel() *Wheel {
+	return &Wheel{}
+}
+
+// NewScheduler returns a single-wheel scheduler whose clock starts at 0.
+//
+// Deprecated: use NewWheel (or NewSharded for the multi-core engine).
+// Retained so existing callers keep compiling.
+func NewScheduler() *Wheel {
+	return NewWheel()
 }
 
 // Now returns the current virtual time, measured from the start of the
 // simulation.
-func (s *Scheduler) Now() time.Duration { return s.now }
+func (s *Wheel) Now() time.Duration { return s.now }
 
 // Executed returns the cumulative number of events executed by the
 // scheduler since creation. It is the numerator of the events/sec and
 // ns/event throughput metrics reported by BenchmarkClusterSteadyState.
-func (s *Scheduler) Executed() uint64 { return s.executed }
+func (s *Wheel) Executed() uint64 { return s.executed }
 
 // Pending returns the number of queued events, including lazily canceled
 // ones.
-func (s *Scheduler) Pending() int { return s.pending }
+func (s *Wheel) Pending() int { return s.pending }
 
 func tickOf(t time.Duration) int64 { return int64(t / wheelTick) }
 
 // alloc takes an event from the pool (or the heap allocator when the pool
 // is empty; steady state recycles).
-func (s *Scheduler) alloc() *event {
+func (s *Wheel) alloc() *event {
 	ev := s.free
 	if ev == nil {
 		return &event{}
@@ -154,7 +199,7 @@ func (s *Scheduler) alloc() *event {
 }
 
 // recycle clears an event's references and returns it to the pool.
-func (s *Scheduler) recycle(ev *event) {
+func (s *Wheel) recycle(ev *event) {
 	ev.kind = evNone
 	ev.tid = 0
 	ev.fn = nil
@@ -167,7 +212,7 @@ func (s *Scheduler) recycle(ev *event) {
 // schedule assigns the event its FIFO sequence number and files it into the
 // due buffer, the wheel, or the overflow heap. The event's at must not be
 // in the past.
-func (s *Scheduler) schedule(ev *event) {
+func (s *Wheel) schedule(ev *event) {
 	ev.seq = s.seq
 	s.seq++
 	s.pending++
@@ -179,6 +224,15 @@ func (s *Scheduler) schedule(ev *event) {
 		s.dueInsert(ev)
 		return
 	}
+	if t < s.curTick {
+		// An event behind the current tick would land in a slot the wheel
+		// has already swept past: invisible to advance, it would freeze
+		// nextEventTime and livelock the sharded engine. This can only
+		// happen through a lookahead violation, so fail loudly at the
+		// insertion point where the cause is still on the stack.
+		panic(fmt.Sprintf("simnet: event scheduled behind the wheel clock: at=%v (tick %d) < curTick=%d (now=%v)",
+			ev.at, t, s.curTick, s.now))
+	}
 	if t < s.curTick+wheelSlots {
 		s.wheelPush(ev, t)
 		return
@@ -186,7 +240,7 @@ func (s *Scheduler) schedule(ev *event) {
 	s.overPush(ev)
 }
 
-func (s *Scheduler) wheelPush(ev *event, tick int64) {
+func (s *Wheel) wheelPush(ev *event, tick int64) {
 	slot := int(tick & wheelMask)
 	ev.next = s.slots[slot]
 	s.slots[slot] = ev
@@ -197,7 +251,7 @@ func (s *Scheduler) wheelPush(ev *event, tick int64) {
 // dueInsert places ev into the pending portion of the sorted due buffer.
 // ev carries the largest sequence number so far, so its position is after
 // every queued event with an equal-or-earlier time.
-func (s *Scheduler) dueInsert(ev *event) {
+func (s *Wheel) dueInsert(ev *event) {
 	lo, hi := s.dueIdx, len(s.due)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -222,7 +276,7 @@ func eventBefore(a, b *event) bool {
 
 // ---------------------------------------------------------------- overflow
 
-func (s *Scheduler) overPush(ev *event) {
+func (s *Wheel) overPush(ev *event) {
 	s.over = append(s.over, ev)
 	i := len(s.over) - 1
 	for i > 0 {
@@ -235,7 +289,7 @@ func (s *Scheduler) overPush(ev *event) {
 	}
 }
 
-func (s *Scheduler) overPop() *event {
+func (s *Wheel) overPop() *event {
 	h := s.over
 	ev := h[0]
 	n := len(h) - 1
@@ -265,7 +319,7 @@ func (s *Scheduler) overPop() *event {
 
 // nextWheelTick returns the absolute tick of the earliest occupied wheel
 // slot at or after curTick, scanning the occupancy bitmap.
-func (s *Scheduler) nextWheelTick() (int64, bool) {
+func (s *Wheel) nextWheelTick() (int64, bool) {
 	if s.wheeled == 0 {
 		return 0, false
 	}
@@ -292,7 +346,7 @@ func (s *Scheduler) nextWheelTick() (int64, bool) {
 // into the sorted due buffer, and sets curTick. It reports false when no
 // events remain anywhere or the earliest tick lies beyond limit (leaving
 // curTick at most limit, so the window stays aligned with the clock).
-func (s *Scheduler) advance(limit int64) bool {
+func (s *Wheel) advance(limit int64) bool {
 	wt, wok := s.nextWheelTick()
 	var target int64
 	switch {
@@ -400,7 +454,7 @@ func (t *Timer) Cancel() bool {
 
 // newTimer wraps a scheduled event in a cancel handle, branding the event
 // with a fresh timer identity.
-func (s *Scheduler) newTimer(ev *event) *Timer {
+func (s *Wheel) newTimer(ev *event) *Timer {
 	s.tids++
 	ev.tid = s.tids
 	return &Timer{ev: ev, tid: s.tids}
@@ -409,7 +463,7 @@ func (s *Scheduler) newTimer(ev *event) *Timer {
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // (or present) runs the event at the current time, after all events already
 // scheduled for that time.
-func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+func (s *Wheel) At(at time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("simnet: At called with nil fn")
 	}
@@ -425,7 +479,7 @@ func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Wheel) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
@@ -434,7 +488,7 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 // re-armed after each firing (with a fresh sequence number, preserving
 // FIFO fairness among same-time events), so the steady-state tick chain
 // allocates nothing. Cancel takes effect at the next period boundary.
-func (s *Scheduler) Every(period time.Duration, fn func()) *Timer {
+func (s *Wheel) Every(period time.Duration, fn func()) *Timer {
 	if period <= 0 {
 		panic(fmt.Sprintf("simnet: Every with non-positive period %v", period))
 	}
@@ -452,7 +506,7 @@ func (s *Scheduler) Every(period time.Duration, fn func()) *Timer {
 
 // sendAt schedules a message delivery as a struct event: the per-message
 // hot path of Network.Send, with no closure and no Timer.
-func (s *Scheduler) sendAt(at time.Duration, n *Network, from, to Endpoint,
+func (s *Wheel) sendAt(at time.Duration, n *Network, from, to Endpoint,
 	size int, class Class, payload any) {
 	ev := s.alloc()
 	ev.kind = evDeliver
@@ -470,18 +524,19 @@ func (s *Scheduler) sendAt(at time.Duration, n *Network, from, to Endpoint,
 
 // Run executes events until the queue is empty. It returns the number of
 // events executed.
-func (s *Scheduler) Run() int { return s.RunUntil(maxDuration) }
+func (s *Wheel) Run() int { return s.RunUntil(maxDuration) }
 
 // RunUntil executes events with timestamps <= deadline, advancing the clock
 // to each event's time, and finally advances the clock to deadline (if the
 // deadline exceeds the last event). It returns the number of events
 // executed.
-func (s *Scheduler) RunUntil(deadline time.Duration) int {
+func (s *Wheel) RunUntil(deadline time.Duration) int {
 	if !s.running.CompareAndSwap(false, true) {
-		panic("simnet: Scheduler driven from two goroutines concurrently; " +
+		panic("simnet: Wheel driven from two goroutines concurrently; " +
 			"each parallel run must own its scheduler (see internal/runner)")
 	}
 	defer s.running.Store(false)
+	s.runCap = deadline
 	n := 0
 	for {
 		// Drain the due buffer of the current tick first: it holds the
@@ -494,7 +549,7 @@ func (s *Scheduler) RunUntil(deadline time.Duration) int {
 				s.recycle(ev)
 				continue
 			}
-			if ev.at > deadline {
+			if ev.at > s.runCap {
 				goto done
 			}
 			s.dueIdx++
@@ -506,23 +561,91 @@ func (s *Scheduler) RunUntil(deadline time.Duration) int {
 		}
 		s.due = s.due[:0]
 		s.dueIdx = 0
-		if !s.advance(tickOf(deadline)) {
+		if !s.advance(tickOf(s.runCap)) {
 			break
 		}
 	}
 done:
-	if deadline > s.now && deadline < maxDuration {
-		s.now = deadline
-		if t := tickOf(deadline); t > s.curTick {
+	if s.runCap > s.now && s.runCap < maxDuration {
+		s.now = s.runCap
+		if t := tickOf(s.runCap); t > s.curTick {
 			s.curTick = t
 		}
 	}
 	return n
 }
 
+// tightenCap lowers the active RunUntil deadline. Called only from within
+// a dispatched event of this wheel (hence the same goroutine), and only
+// with caps beyond the current time, so already-executed events are never
+// retroactively invalidated.
+func (s *Wheel) tightenCap(cap time.Duration) {
+	if s.running.Load() && cap < s.runCap {
+		if cap < s.now {
+			cap = s.now
+		}
+		s.runCap = cap
+	}
+}
+
+// nextEventTime returns the exact timestamp of the earliest pending event,
+// or (0, false) when the queue is empty. Canceled-but-undiscarded events
+// count (their time still bounds the queue; hitting one costs an empty
+// window, after which it is discarded and the queue shrinks). The Sharded
+// engine uses this to choose window starts and to decide termination
+// against a deadline, so exactness matters: a conservative tick-start
+// bound below the deadline with the true event beyond it would loop
+// forever without progress.
+func (s *Wheel) nextEventTime() (time.Duration, bool) {
+	best := maxDuration
+	ok := false
+	if s.dueIdx < len(s.due) {
+		// The due buffer can retain events when a previous RunUntil
+		// deadline fell mid-tick; it is sorted, so its head is its minimum.
+		best = s.due[s.dueIdx].at
+		ok = true
+	}
+	if t, wok := s.nextWheelTick(); wok {
+		// Scan the earliest occupied slot for its true minimum (slots are
+		// unsorted until drained; occupancy is typically a handful).
+		for ev := s.slots[int(t&wheelMask)]; ev != nil; ev = ev.next {
+			if ev.at < best {
+				best = ev.at
+			}
+		}
+		ok = true
+	}
+	if len(s.over) > 0 && s.over[0].at < best {
+		best = s.over[0].at
+		ok = true
+	}
+	if !ok {
+		return 0, false
+	}
+	return best, true
+}
+
+// alignTo advances the wheel's clock (and current tick) toward t without
+// executing anything, stopping at the wheel's earliest pending event so no
+// event is ever skipped. The Sharded engine calls this on every wheel at
+// every window barrier, which keeps all shard clocks within one lookahead
+// of each other — the property that bounds the time-base error of
+// cross-shard After calls in forced-serial modes.
+func (s *Wheel) alignTo(t time.Duration) {
+	if next, ok := s.nextEventTime(); ok && next < t {
+		t = next
+	}
+	if t > s.now {
+		s.now = t
+		if tk := tickOf(t); tk > s.curTick {
+			s.curTick = tk
+		}
+	}
+}
+
 // dispatch executes one event and recycles it (periodic events re-arm
 // instead, reusing the same pooled event).
-func (s *Scheduler) dispatch(ev *event) {
+func (s *Wheel) dispatch(ev *event) {
 	switch ev.kind {
 	case evFunc:
 		fn := ev.fn

@@ -138,21 +138,21 @@ type schedIface interface {
 	RunUntil(time.Duration) int
 }
 
-type wheelAdapter struct{ s *Scheduler }
+type wheelAdapter struct{ s *Wheel }
 
-func (a wheelAdapter) Now() time.Duration                       { return a.s.Now() }
-func (a wheelAdapter) At(at time.Duration, fn func()) canceler  { return a.s.At(at, fn) }
+func (a wheelAdapter) Now() time.Duration                        { return a.s.Now() }
+func (a wheelAdapter) At(at time.Duration, fn func()) canceler   { return a.s.At(at, fn) }
 func (a wheelAdapter) After(d time.Duration, fn func()) canceler { return a.s.After(d, fn) }
 func (a wheelAdapter) Every(p time.Duration, fn func()) canceler { return a.s.Every(p, fn) }
-func (a wheelAdapter) RunUntil(d time.Duration) int             { return a.s.RunUntil(d) }
+func (a wheelAdapter) RunUntil(d time.Duration) int              { return a.s.RunUntil(d) }
 
 type oracleAdapter struct{ s *oracleScheduler }
 
-func (a oracleAdapter) Now() time.Duration                       { return a.s.now }
-func (a oracleAdapter) At(at time.Duration, fn func()) canceler  { return a.s.At(at, fn) }
+func (a oracleAdapter) Now() time.Duration                        { return a.s.now }
+func (a oracleAdapter) At(at time.Duration, fn func()) canceler   { return a.s.At(at, fn) }
 func (a oracleAdapter) After(d time.Duration, fn func()) canceler { return a.s.After(d, fn) }
 func (a oracleAdapter) Every(p time.Duration, fn func()) canceler { return a.s.Every(p, fn) }
-func (a oracleAdapter) RunUntil(d time.Duration) int             { return a.s.RunUntil(d) }
+func (a oracleAdapter) RunUntil(d time.Duration) int              { return a.s.RunUntil(d) }
 
 // randomDelay draws from the delay mix the simulator actually produces:
 // sub-tick offsets, message-scale milliseconds, heartbeat-scale seconds
@@ -213,7 +213,7 @@ func runScript(s schedIface, seed int64) []string {
 				}
 			}))
 		default: // Every, canceled from within after a few ticks
-			period := time.Duration(1+rng.Intn(int(45*time.Second))) // ns granular
+			period := time.Duration(1 + rng.Intn(int(45*time.Second))) // ns granular
 			remaining := 1 + rng.Intn(4)
 			var tm canceler
 			tm = s.Every(period, func() {

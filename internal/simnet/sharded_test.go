@@ -1,0 +1,196 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardedAdapter drives the sharded engine through the oracle test's
+// scheduler interface. Engine-level At/After/Every land on shard 0's
+// wheel, so the execution order must match the serial heap oracle event
+// for event — the Scheduler interface contract is engine-independent.
+type shardedAdapter struct{ s *Sharded }
+
+func (a shardedAdapter) Now() time.Duration                        { return a.s.Now() }
+func (a shardedAdapter) At(at time.Duration, fn func()) canceler   { return a.s.At(at, fn) }
+func (a shardedAdapter) After(d time.Duration, fn func()) canceler { return a.s.After(d, fn) }
+func (a shardedAdapter) Every(p time.Duration, fn func()) canceler { return a.s.Every(p, fn) }
+func (a shardedAdapter) RunUntil(d time.Duration) int              { return a.s.RunUntil(d) }
+
+// TestShardedOrderOracle runs the heap-oracle property test against the
+// sharded engine: the same randomized At/After/Every/Cancel scripts that
+// pin down the wheel's time-then-FIFO order must hold unchanged when the
+// engine behind the Scheduler interface is the sharded one.
+func TestShardedOrderOracle(t *testing.T) {
+	topo := GenerateTopology(DefaultTopologyConfig(), 1)
+	for seed := int64(1); seed <= 25; seed++ {
+		got := runScript(shardedAdapter{NewSharded(topo, 4)}, seed)
+		want := runScript(oracleAdapter{&oracleScheduler{}}, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: sharded executed %d log entries, oracle %d\nsharded tail: %v\noracle tail: %v",
+				seed, len(got), len(want), tail(got, 5), tail(want, 5))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: execution order diverges at entry %d: sharded %q, oracle %q",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// shardedChatter runs a deterministic multi-hop message workload over the
+// sharded engine and returns the full per-endpoint delivery log in
+// endpoint order. Every piece of mutable state (logs, rngs) is owned by
+// one endpoint and touched only from its shard's wheel, so the run is
+// race-free at any worker count and the log is byte-comparable.
+func shardedChatter(t *testing.T, topo *Topology, workers int, seed int64) ([]string, uint64) {
+	t.Helper()
+	const n = 32
+	eng := NewSharded(topo, workers)
+	net := NewNetwork(eng, topo, n, NetworkConfig{Seed: seed, Horizon: time.Minute})
+
+	logs := make([][]string, n)
+	rngs := make([]*rand.Rand, n)
+	for i := 0; i < n; i++ {
+		rngs[i] = rand.New(rand.NewSource(seed<<8 + int64(i)))
+	}
+	for i := 0; i < n; i++ {
+		ep := Endpoint(i)
+		net.Bind(ep, HandlerFunc(func(from Endpoint, payload any) {
+			hops := payload.(int)
+			now := net.SchedulerFor(ep).Now()
+			logs[ep] = append(logs[ep], fmt.Sprintf("%d<-%d@%d h%d", ep, from, now, hops))
+			if hops <= 0 {
+				return
+			}
+			rng := rngs[ep]
+			next := Endpoint(rng.Intn(n))
+			switch rng.Intn(4) {
+			case 0:
+				// Local think time before forwarding.
+				net.SchedulerFor(ep).After(time.Duration(rng.Intn(int(3*time.Millisecond))), func() {
+					net.Send(ep, next, 64+rng.Intn(512), ClassQuery, hops-1)
+				})
+			case 1:
+				// Cross-endpoint callback with a possibly sub-lookahead
+				// delay: exercises the barrier clamp.
+				net.CallAfter(ep, next, time.Duration(rng.Intn(int(2*time.Millisecond))), func() {
+					logs[next] = append(logs[next], fmt.Sprintf("%d!cb@%d h%d", next, net.SchedulerFor(next).Now(), hops))
+				})
+				net.Send(ep, next, 64, ClassMaintenance, hops-1)
+			default:
+				net.Send(ep, next, 64+rng.Intn(512), ClassQuery, hops-1)
+			}
+		}))
+	}
+	// Seed traffic: a burst at the start plus stragglers spread out far
+	// enough apart that sparse phases trigger the solo fast path.
+	for i := 0; i < n; i++ {
+		ep := Endpoint(i)
+		at := time.Duration(i) * 17 * time.Millisecond
+		if i%5 == 0 {
+			at = time.Duration(i) * 200 * time.Millisecond
+		}
+		net.SchedulerFor(ep).At(at, func() {
+			net.Send(ep, Endpoint((int(ep)+7)%n), 128, ClassQuery, 30)
+		})
+	}
+	eng.RunUntil(20 * time.Second)
+
+	var all []string
+	for i := 0; i < n; i++ {
+		all = append(all, logs[i]...)
+	}
+	return all, eng.Executed()
+}
+
+// TestShardedWorkerCountDeterminism checks the engine's core promise:
+// the multi-hop chatter workload produces an identical delivery log — and
+// identical event count — at every worker parallelism, including the
+// degenerate 1-worker execution of the same sharded window schedule.
+func TestShardedWorkerCountDeterminism(t *testing.T) {
+	topo := GenerateTopology(DefaultTopologyConfig(), 1)
+	if topo.NumRegions() < 2 {
+		t.Fatalf("default topology should be multi-region, got %d", topo.NumRegions())
+	}
+	refLog, refExec := shardedChatter(t, topo, 1, 42)
+	if len(refLog) == 0 {
+		t.Fatal("chatter workload delivered nothing")
+	}
+	for _, workers := range []int{2, 3, 6} {
+		log, exec := shardedChatter(t, topo, workers, 42)
+		if exec != refExec {
+			t.Fatalf("workers=%d executed %d events, workers=1 executed %d", workers, exec, refExec)
+		}
+		if len(log) != len(refLog) {
+			t.Fatalf("workers=%d delivered %d messages, workers=1 delivered %d", workers, len(log), len(refLog))
+		}
+		for i := range log {
+			if log[i] != refLog[i] {
+				t.Fatalf("workers=%d: delivery log diverges at entry %d: %q vs %q", workers, i, log[i], refLog[i])
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadRandomTopologies is the cross-shard lookahead
+// property test: over topologies with randomized RTT floors it (a)
+// verifies MinCrossRegionOneWay against a brute-force minimum over all
+// cross-region router pairs, and (b) runs the chatter workload in
+// parallel, where the engine's own merge-floor assertion and the wheel's
+// behind-the-clock insertion panic check every cross-shard delivery
+// against the computed lookahead.
+func TestShardedLookaheadRandomTopologies(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultTopologyConfig()
+		cfg.TotalRouters = 40 + rng.Intn(80)
+		cfg.CoreRouters = 2 + rng.Intn(5)
+		cfg.HubsPerCore = 2 + rng.Intn(4)
+		cfg.LANDelay = time.Duration(100+rng.Intn(2000)) * time.Microsecond
+		cfg.LeafRTTMin = time.Duration(100+rng.Intn(1000)) * time.Microsecond
+		cfg.LeafRTTMax = cfg.LeafRTTMin + time.Duration(rng.Intn(4000))*time.Microsecond
+		cfg.HubRTTMin = time.Duration(500+rng.Intn(5000)) * time.Microsecond
+		cfg.HubRTTMax = cfg.HubRTTMin + time.Duration(rng.Intn(15000))*time.Microsecond
+		cfg.CoreRTTMin = time.Duration(2+rng.Intn(40)) * time.Millisecond
+		cfg.CoreRTTMax = cfg.CoreRTTMin + time.Duration(rng.Intn(100))*time.Millisecond
+		cfg.ExtraCrossLink = rng.Intn(25)
+		topo := GenerateTopology(cfg, seed)
+		if topo.NumRegions() < 2 {
+			continue
+		}
+
+		// Brute-force the lookahead: the smallest one-way endsystem-to-
+		// endsystem delay across any pair of routers in different regions.
+		want := time.Duration(0)
+		found := false
+		for a := 0; a < topo.NumRouters(); a++ {
+			for b := 0; b < topo.NumRouters(); b++ {
+				if topo.Region(a) == topo.Region(b) {
+					continue
+				}
+				if d := topo.OneWayDelay(a, b); !found || d < want {
+					want, found = d, true
+				}
+			}
+		}
+		if got := topo.MinCrossRegionOneWay(); !found || got != want {
+			t.Fatalf("seed %d: MinCrossRegionOneWay = %v, brute force = %v (found=%v)", seed, got, want, found)
+		}
+
+		refLog, refExec := shardedChatter(t, topo, 1, seed)
+		log, exec := shardedChatter(t, topo, 3, seed)
+		if exec != refExec || len(log) != len(refLog) {
+			t.Fatalf("seed %d: parallel run diverges: %d/%d events, %d/%d deliveries",
+				seed, exec, refExec, len(log), len(refLog))
+		}
+		for i := range log {
+			if log[i] != refLog[i] {
+				t.Fatalf("seed %d: delivery log diverges at entry %d: %q vs %q", seed, i, log[i], refLog[i])
+			}
+		}
+	}
+}

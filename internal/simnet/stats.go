@@ -19,32 +19,48 @@ type Stats struct {
 	bucket     time.Duration
 	numBuckets int
 
-	classTx [NumClasses][]float64 // bytes per bucket, per class, systemwide
-	classRx [NumClasses][]float64
+	// sh holds one counter block per shard. Each block is written only by
+	// events executing on its shard, so the sharded engine accounts with
+	// no atomics and no locks; getters sum across shards. Counters are
+	// integers (wire bytes are integral), which also makes the totals
+	// independent of accumulation order across shards — float addition
+	// would not be.
+	sh []shardCounters
 
 	// Per-endpoint counters are uint64: a uint32 caps one endsystem's
 	// bucket at 4 GiB, which a -full horizon run with coarse buckets (or a
 	// future high-bandwidth workload) can overflow silently. The widening
 	// costs numEndpoints × numBuckets × 8 extra bytes — accept that rather
-	// than risk wrapped load CDFs.
+	// than risk wrapped load CDFs. Rows are owned by their endpoint's
+	// shard (tx is charged by the sending event, rx by the delivering
+	// event, both of which run on the row owner's shard), so they too need
+	// no synchronization.
 	perEndpoint bool
 	epTx        [][]uint64 // [endpoint][bucket] bytes transmitted
 	epRx        [][]uint64
-
-	totalTx [NumClasses]float64 // cumulative, systemwide
-	totalRx [NumClasses]float64
 }
 
-func newStats(numEndpoints int, cfg NetworkConfig) *Stats {
+// shardCounters is one shard's systemwide-aggregate accounting block.
+type shardCounters struct {
+	classTx [NumClasses][]uint64 // bytes per bucket, per class
+	classRx [NumClasses][]uint64
+	totalTx [NumClasses]uint64 // cumulative
+	totalRx [NumClasses]uint64
+}
+
+func newStats(numEndpoints, numShards int, cfg NetworkConfig) *Stats {
 	nb := int(cfg.Horizon/cfg.StatsBucket) + 2
 	s := &Stats{
 		bucket:      cfg.StatsBucket,
 		numBuckets:  nb,
+		sh:          make([]shardCounters, numShards),
 		perEndpoint: cfg.PerEndpointStats,
 	}
-	for c := 0; c < int(NumClasses); c++ {
-		s.classTx[c] = make([]float64, nb)
-		s.classRx[c] = make([]float64, nb)
+	for i := range s.sh {
+		for c := 0; c < int(NumClasses); c++ {
+			s.sh[i].classTx[c] = make([]uint64, nb)
+			s.sh[i].classRx[c] = make([]uint64, nb)
+		}
 	}
 	if cfg.PerEndpointStats {
 		s.epTx = make([][]uint64, numEndpoints)
@@ -68,19 +84,21 @@ func (s *Stats) bucketFor(t time.Duration) int {
 	return b
 }
 
-func (s *Stats) accountTx(ep Endpoint, class Class, size int, t time.Duration) {
+func (s *Stats) accountTx(shard int32, ep Endpoint, class Class, size int, t time.Duration) {
 	b := s.bucketFor(t)
-	s.classTx[class][b] += float64(size)
-	s.totalTx[class] += float64(size)
+	c := &s.sh[shard]
+	c.classTx[class][b] += uint64(size)
+	c.totalTx[class] += uint64(size)
 	if s.perEndpoint {
 		s.epTx[ep][b] += uint64(size)
 	}
 }
 
-func (s *Stats) accountRx(ep Endpoint, class Class, size int, t time.Duration) {
+func (s *Stats) accountRx(shard int32, ep Endpoint, class Class, size int, t time.Duration) {
 	b := s.bucketFor(t)
-	s.classRx[class][b] += float64(size)
-	s.totalRx[class] += float64(size)
+	c := &s.sh[shard]
+	c.classRx[class][b] += uint64(size)
+	c.totalRx[class] += uint64(size)
 	if s.perEndpoint {
 		s.epRx[ep][b] += uint64(size)
 	}
@@ -93,27 +111,44 @@ func (s *Stats) Bucket() time.Duration { return s.bucket }
 func (s *Stats) NumBuckets() int { return s.numBuckets }
 
 // TotalTx returns cumulative transmitted bytes for a class, systemwide.
-func (s *Stats) TotalTx(class Class) float64 { return s.totalTx[class] }
+func (s *Stats) TotalTx(class Class) float64 {
+	var t uint64
+	for i := range s.sh {
+		t += s.sh[i].totalTx[class]
+	}
+	return float64(t)
+}
 
 // TotalRx returns cumulative received bytes for a class, systemwide.
-func (s *Stats) TotalRx(class Class) float64 { return s.totalRx[class] }
+func (s *Stats) TotalRx(class Class) float64 {
+	var t uint64
+	for i := range s.sh {
+		t += s.sh[i].totalRx[class]
+	}
+	return float64(t)
+}
 
 // TotalTxAll returns cumulative transmitted bytes over all classes.
 func (s *Stats) TotalTxAll() float64 {
 	var t float64
 	for c := 0; c < int(NumClasses); c++ {
-		t += s.totalTx[c]
+		t += s.TotalTx(Class(c))
 	}
 	return t
 }
 
 // ClassTxTimeline returns, for one traffic class, the systemwide
-// transmitted bytes per second in each bucket.
+// transmitted bytes per second in each bucket (summed over shards).
 func (s *Stats) ClassTxTimeline(class Class) []float64 {
 	out := make([]float64, s.numBuckets)
 	secs := s.bucket.Seconds()
-	for i, v := range s.classTx[class] {
-		out[i] = v / secs
+	for i := range s.sh {
+		for b, v := range s.sh[i].classTx[class] {
+			out[b] += float64(v)
+		}
+	}
+	for i := range out {
+		out[i] /= secs
 	}
 	return out
 }

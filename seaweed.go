@@ -169,11 +169,30 @@ func DefaultClusterConfig(trace *AvailabilityTrace, seed int64) ClusterConfig {
 	return core.DefaultClusterConfig(trace, seed)
 }
 
-// Option adjusts a cluster's configuration before construction. Options
-// are thin, documented wrappers over ClusterConfig fields; anything they
-// can express can also be done by mutating a DefaultClusterConfig and
-// calling NewClusterFromConfig.
-type Option func(*ClusterConfig)
+// builder accumulates the deployment description while options apply:
+// the trace and seed feed the default-configuration derivation (workload
+// horizon, accounting horizon), and the mods run over that derived
+// ClusterConfig in option order.
+type builder struct {
+	trace *avail.Trace
+	seed  int64
+	mods  []func(*ClusterConfig)
+}
+
+// Option adjusts a deployment before construction. Options are thin,
+// documented wrappers over ClusterConfig fields, applied in order over
+// the paper-default configuration; anything they can express can also be
+// done through WithConfig.
+type Option func(*builder)
+
+// WithTrace sets the availability trace the deployment runs over. New
+// requires exactly this option; everything else has a default.
+func WithTrace(trace *AvailabilityTrace) Option {
+	return func(b *builder) {
+		b.trace = trace
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Trace = trace })
+	}
+}
 
 // WithSeed sets the seed driving all of the deployment's randomness —
 // workload generation (ClusterConfig.Workload.Seed), network loss
@@ -182,19 +201,38 @@ type Option func(*ClusterConfig)
 // (ClusterConfig.Seed). Same trace + same seed means a bit-identical
 // simulation. Default 1.
 func WithSeed(seed int64) Option {
-	return func(cfg *ClusterConfig) {
-		cfg.Seed = seed
-		cfg.Workload.Seed = seed
-		cfg.Net.Seed = seed
-		cfg.Pastry.Seed = seed
-		cfg.Node.Seed = seed
+	return func(b *builder) {
+		b.seed = seed
+		b.mods = append(b.mods, func(cfg *ClusterConfig) {
+			cfg.Seed = seed
+			cfg.Workload.Seed = seed
+			cfg.Net.Seed = seed
+			cfg.Pastry.Seed = seed
+			cfg.Node.Seed = seed
+		})
+	}
+}
+
+// WithShards runs the deployment on the sharded event engine with up to n
+// worker goroutines (ClusterConfig.Shards). The simnet is partitioned by
+// router region and advanced with conservative lookahead; results are
+// byte-identical for every n >= 1, and n == 1 is the serial reference
+// execution of the sharded partition. The default (no option) is the
+// classic serial wheel, byte-compatible with historical seeds. Tracing,
+// time-series sampling, fault injection and the query service need a
+// single global event order and pin the engine back to one worker.
+func WithShards(n int) Option {
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Shards = n })
 	}
 }
 
 // WithLoss sets the independent per-message drop probability of the
 // simulated network (ClusterConfig.Net.LossRate). Default 0.
 func WithLoss(rate float64) Option {
-	return func(cfg *ClusterConfig) { cfg.Net.LossRate = rate }
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Net.LossRate = rate })
+	}
 }
 
 // WithScale truncates the deployment to the first n endsystems of the
@@ -202,51 +240,84 @@ func WithLoss(rate float64) Option {
 // ClusterConfig.Trace with the truncated trace; use it to dial a large
 // generated trace down to an affordable simulation.
 func WithScale(n int) Option {
-	return func(cfg *ClusterConfig) {
-		if n < len(cfg.Trace.Profiles) {
-			cfg.Trace = &avail.Trace{Horizon: cfg.Trace.Horizon, Profiles: cfg.Trace.Profiles[:n]}
-		}
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) {
+			if n < len(cfg.Trace.Profiles) {
+				cfg.Trace = &avail.Trace{Horizon: cfg.Trace.Horizon, Profiles: cfg.Trace.Profiles[:n]}
+			}
+		})
 	}
 }
 
 // WithFlowsPerDay sets the mean per-endsystem workload intensity
 // (ClusterConfig.Workload.MeanFlowsPerDay). Default 200.
 func WithFlowsPerDay(n int) Option {
-	return func(cfg *ClusterConfig) { cfg.Workload.MeanFlowsPerDay = n }
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Workload.MeanFlowsPerDay = n })
+	}
 }
 
 // WithFeed enables live data updates (ClusterConfig.Feed): endsystems
 // start empty and accrue rows while up, refreshing metadata every period.
 func WithFeed(period time.Duration) Option {
-	return func(cfg *ClusterConfig) {
-		cfg.Feed = FeedConfig{Enabled: true, Period: period}
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) {
+			cfg.Feed = FeedConfig{Enabled: true, Period: period}
+		})
 	}
 }
 
 // WithConfig applies fn to the full ClusterConfig — the escape hatch to
 // any field without leaving the options style.
-func WithConfig(fn func(*ClusterConfig)) Option { return Option(fn) }
+func WithConfig(fn func(*ClusterConfig)) Option {
+	return func(b *builder) { b.mods = append(b.mods, fn) }
+}
 
-// NewCluster builds and wires a deployment over the trace with the
-// paper's default configuration, adjusted by the options:
+// New builds and wires a deployment described entirely by options:
 //
-//	c := seaweed.NewCluster(trace,
+//	c := seaweed.New(
+//		seaweed.WithTrace(trace),
 //		seaweed.WithSeed(7),
-//		seaweed.WithLoss(0.01),
+//		seaweed.WithShards(8),
 //		seaweed.WithScale(1000))
 //
-// Use NewClusterFromConfig for full struct-level control.
-func NewCluster(trace *AvailabilityTrace, opts ...Option) *Cluster {
-	cfg := core.DefaultClusterConfig(trace, 1)
+// WithTrace is required; every other knob defaults to the paper's
+// configuration (MSPastry b=4, l=8, 30 s heartbeats; k=8 metadata
+// replicas; m=3 vertex backups; CorpNet-like topology; serial engine).
+// Options apply in order over that default, so later options win.
+func New(opts ...Option) *Cluster {
+	b := builder{seed: 1}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt(&b)
+	}
+	if b.trace == nil {
+		panic("seaweed.New: WithTrace is required")
+	}
+	cfg := core.DefaultClusterConfig(b.trace, b.seed)
+	for _, mod := range b.mods {
+		mod(&cfg)
 	}
 	return core.NewCluster(cfg)
 }
 
+// NewCluster builds a deployment over the trace.
+//
+// Deprecated: use New with WithTrace; this shim forwards to it.
+func NewCluster(trace *AvailabilityTrace, opts ...Option) *Cluster {
+	return New(append([]Option{WithTrace(trace)}, opts...)...)
+}
+
 // NewClusterFromConfig builds and wires the deployment from an explicit
 // configuration (see DefaultClusterConfig).
-func NewClusterFromConfig(cfg ClusterConfig) *Cluster { return core.NewCluster(cfg) }
+//
+// Deprecated: use New with WithConfig (or construct the config and pass
+// it through core directly); this shim remains for struct-level callers.
+func NewClusterFromConfig(cfg ClusterConfig) *Cluster {
+	if cfg.Trace == nil {
+		panic("seaweed.NewClusterFromConfig: ClusterConfig.Trace is required")
+	}
+	return core.NewCluster(cfg)
+}
 
 // Completeness experiments: availability-level simulation of predicted vs
 // actual completeness.

@@ -51,20 +51,32 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 func TestPublicAPIOptions(t *testing.T) {
 	trace := FarsiteTrace(80, 24*time.Hour, 5)
 	// WithScale truncates the deployment; WithSeed/WithLoss configure it.
-	cluster := NewCluster(trace,
+	cluster := New(WithTrace(trace),
 		WithSeed(5), WithLoss(0.01), WithScale(30), WithFlowsPerDay(20))
 	if len(cluster.Nodes) != 30 {
 		t.Fatalf("WithScale(30) built %d nodes", len(cluster.Nodes))
 	}
-	// Same trace and options build the identical deployment; the explicit
-	// config path reaches the same state.
+	// The deprecated trace-first constructor forwards to New.
+	legacy := NewCluster(trace,
+		WithSeed(5), WithLoss(0.01), WithScale(30), WithFlowsPerDay(20))
+	if len(legacy.Nodes) != len(cluster.Nodes) {
+		t.Fatal("NewCluster shim diverges from New with the same options")
+	}
+	// WithConfig is the escape hatch to any ClusterConfig field; the same
+	// deployment is reachable through it and through NewClusterFromConfig.
+	viaConfig := New(WithTrace(trace), WithSeed(5), WithConfig(func(cfg *ClusterConfig) {
+		cfg.Net.LossRate = 0.01
+		cfg.Workload.MeanFlowsPerDay = 20
+	}), WithScale(30))
+	if len(viaConfig.Nodes) != len(cluster.Nodes) {
+		t.Fatal("WithConfig diverges from the dedicated options")
+	}
 	cfg := DefaultClusterConfig(trace, 5)
-	WithLoss(0.01)(&cfg)
-	WithScale(30)(&cfg)
-	WithFlowsPerDay(20)(&cfg)
+	cfg.Net.LossRate = 0.01
+	cfg.Workload.MeanFlowsPerDay = 20
 	other := NewClusterFromConfig(cfg)
-	if len(other.Nodes) != len(cluster.Nodes) {
-		t.Fatal("NewClusterFromConfig diverges from NewCluster with options")
+	if len(other.Nodes) != len(trace.Profiles) {
+		t.Fatal("NewClusterFromConfig did not build the full trace")
 	}
 }
 
