@@ -1,0 +1,193 @@
+// BenchmarkRelqScan is the per-endsystem scan-throughput benchmark: one
+// endsystem-sized Flow table driven through the vectorized block-pruned
+// executor AND the pinned row-at-a-time oracle (the pre-change execution
+// path, kept compiled as the differential reference), on two workloads —
+// a selective time-window query whose blocks zone maps can prune, and an
+// unclustered port-equality query where pruning cannot help and the
+// selection-vector kernels carry the whole speedup. `make relq-bench`
+// persists rows/s, ns/op, allocs/op and the speedups to BENCH_relq.json;
+// `make relq-smoke` runs one iteration as a CI build/panic gate (timing
+// is never asserted — shared runners are too noisy).
+package seaweed
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relq"
+)
+
+// benchRelqRows is one endsystem's table size: 2^18 rows = 128 blocks,
+// about a month of Anemone flow capture at the paper's rates.
+const benchRelqRows = 1 << 18
+
+// buildRelqBenchTable generates a streaming-shaped Flow table: timestamps
+// arrive in order (as the live feed inserts them), so ts-range queries are
+// zone-prunable, while ports and sizes are unclustered. Returns the table
+// and the final (maximum) timestamp so workloads can target the tail.
+func buildRelqBenchTable() (*relq.Table, int64) {
+	schema := relq.Schema{Name: "Flow", Columns: []relq.Column{
+		{Name: "ts", Type: relq.TInt, Indexed: true},
+		{Name: "SrcPort", Type: relq.TInt, Indexed: true},
+		{Name: "LocalPort", Type: relq.TInt, Indexed: true},
+		{Name: "App", Type: relq.TString, Indexed: true},
+		{Name: "Bytes", Type: relq.TInt, Indexed: true},
+	}}
+	apps := []string{"HTTP", "HTTPS", "SMB", "SQL", "DNS", "P2P"}
+	ports := []int64{80, 443, 445, 1433, 53, 6881}
+	tbl := relq.NewTableWithCapacity(schema, benchRelqRows)
+	rng := rand.New(rand.NewSource(99))
+	ts := int64(1_000_000)
+	for r := 0; r < benchRelqRows; r++ {
+		ts += rng.Int63n(3) // in-order arrival, ~1 row/s
+		a := rng.Intn(len(apps))
+		src := ports[a]
+		if rng.Intn(2) == 0 {
+			src = 1024 + rng.Int63n(60000)
+		}
+		tbl.InsertInts(ts, src, 1024+rng.Int63n(60000),
+			relq.HashString(apps[a]), 64+rng.Int63n(1<<20))
+	}
+	tbl.BuildSummary() // enables selectivity-ordered conjuncts
+	return tbl, ts
+}
+
+type relqPathMetrics struct {
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type relqWorkloadResult struct {
+	SQL               string          `json:"sql"`
+	MatchingRows      int64           `json:"matching_rows"`
+	BlocksPrunedPerOp float64         `json:"blocks_pruned_per_op"`
+	Vectorized        relqPathMetrics `json:"vectorized"`
+	Oracle            relqPathMetrics `json:"oracle_row_at_a_time"`
+	SpeedupX          float64         `json:"speedup_vs_oracle_x"`
+	AllocDropX        float64         `json:"alloc_reduction_vs_oracle_x"`
+}
+
+type relqBenchSummary struct {
+	Rows       int                           `json:"rows"`
+	Blocks     int                           `json:"blocks"`
+	Workloads  map[string]relqWorkloadResult `json:"workloads"`
+	NumCPU     int                           `json:"num_cpu"`
+	GOMAXPROCS int                           `json:"gomaxprocs"`
+}
+
+// measureScan times reps executions of run, returning elapsed time and the
+// per-op heap allocation count.
+func measureScan(reps int, run func()) (time.Duration, float64) {
+	run() // warm pools and caches outside the timed region
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, float64(after.Mallocs-before.Mallocs) / float64(reps)
+}
+
+func BenchmarkRelqScan(b *testing.B) {
+	tbl, maxTs := buildRelqBenchTable()
+	o := obs.New()
+	tbl.SetExecStats(relq.StandardExecStats(o))
+	pruned := o.Counter("blocks_pruned")
+
+	workloads := []struct {
+		name string
+		sql  string
+	}{
+		// Selective: the trailing ~1% of the capture window (timestamps
+		// advance ~1/row, so maxTs-2600 keeps ~2600 rows); all but the last
+		// block or two are zone-prunable.
+		{"selective", fmt.Sprintf("SELECT SUM(Bytes) FROM Flow WHERE ts >= %d", maxTs-2600)},
+		// Unpruned: equality on an unclustered column; every block scans.
+		{"unpruned", "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80"},
+	}
+
+	const reps = 30
+	sum := relqBenchSummary{
+		Rows:       tbl.NumRows(),
+		Blocks:     tbl.NumBlocks(),
+		Workloads:  make(map[string]relqWorkloadResult),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads {
+			plan, err := tbl.Bind(relq.MustParse(w.sql))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Correctness before speed: both paths must agree exactly.
+			vec, oracle := plan.Execute(0), plan.ExecuteOracle(0)
+			if vec != oracle {
+				b.Fatalf("%s: vectorized %+v != oracle %+v", w.name, vec, oracle)
+			}
+
+			p0 := pruned.Value()
+			vecTime, vecAllocs := measureScan(reps, func() { plan.Execute(0) })
+			prunedPerOp := float64(pruned.Value()-p0) / float64(reps+1)
+			oraTime, oraAllocs := measureScan(reps, func() { plan.ExecuteOracle(0) })
+
+			rows := float64(tbl.NumRows())
+			res := relqWorkloadResult{
+				SQL:               w.sql,
+				MatchingRows:      vec.Count,
+				BlocksPrunedPerOp: prunedPerOp,
+				Vectorized: relqPathMetrics{
+					RowsPerSec:  rows * reps / vecTime.Seconds(),
+					NsPerOp:     float64(vecTime.Nanoseconds()) / reps,
+					AllocsPerOp: vecAllocs,
+				},
+				Oracle: relqPathMetrics{
+					RowsPerSec:  rows * reps / oraTime.Seconds(),
+					NsPerOp:     float64(oraTime.Nanoseconds()) / reps,
+					AllocsPerOp: oraAllocs,
+				},
+			}
+			if oraTime > 0 {
+				res.SpeedupX = float64(oraTime) / float64(vecTime)
+			}
+			if vecAllocs > 0 {
+				res.AllocDropX = oraAllocs / vecAllocs
+			}
+			sum.Workloads[w.name] = res
+			b.ReportMetric(res.SpeedupX, w.name+"_speedup_x")
+			b.ReportMetric(res.Vectorized.RowsPerSec/1e6, w.name+"_Mrows/s")
+		}
+	}
+	b.StopTimer()
+	if err := writeRelqBench(sum); err != nil {
+		b.Logf("BENCH_relq.json not written: %v", err)
+	}
+}
+
+func writeRelqBench(sum relqBenchSummary) error {
+	entries := map[string]json.RawMessage{}
+	if data, err := os.ReadFile("BENCH_relq.json"); err == nil {
+		_ = json.Unmarshal(data, &entries)
+	}
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	entries["relq_scan"] = raw
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_relq.json", append(data, '\n'), 0o644)
+}

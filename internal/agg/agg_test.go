@@ -53,13 +53,19 @@ func TestMergeIdentity(t *testing.T) {
 }
 
 func TestMergeEqualsSingleStream(t *testing.T) {
+	// Values are folded into a bounded range (as in the commutativity and
+	// associativity tests below): near ±MaxFloat64 the running sums
+	// overflow to ±Inf in an order-dependent way, which is a float64
+	// limitation, not a merge bug.
 	f := func(a, b []float64) bool {
 		var pa, pb, all Partial
 		for _, v := range a {
+			v = math.Mod(v, 1e12)
 			pa.Observe(v)
 			all.Observe(v)
 		}
 		for _, v := range b {
+			v = math.Mod(v, 1e12)
 			pb.Observe(v)
 			all.Observe(v)
 		}

@@ -101,7 +101,13 @@ func NewNode(ring *pastry.Ring, ep simnet.Endpoint, id ids.ID,
 		contTimers:       make(map[ids.ID]*simnet.Timer),
 		continuousPeriod: cfg.ContinuousPeriod,
 	}
+	// Every endsystem table shares the cluster-wide executor counters
+	// (rows_scanned / rows_matched / blocks_pruned plus plan-cache hit
+	// rates); counter updates are atomic and order-independent, so the
+	// totals stay byte-identical across sharded-engine worker counts.
+	execStats := relq.StandardExecStats(ring.Obs())
 	for _, t := range tables {
+		t.SetExecStats(execStats)
 		n.tables[t.Schema().Name] = t
 	}
 	n.summary = relq.NewSummary(tables...)
@@ -199,7 +205,10 @@ func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpo
 
 // runLocal executes the query against local data and submits the result if
 // it differs from the last submission. It reports whether the table
-// existed and execution succeeded.
+// existed and execution succeeded. Table.Execute goes through the
+// per-table bound-plan cache: the query object is pointer-stable per qid
+// on this node, so continuous re-executions and rejoin replays skip
+// parse/bind entirely.
 func (n *Node) runLocal(qid ids.ID, q *relq.Query, injector simnet.Endpoint, cause uint64) bool {
 	tbl, ok := n.tables[q.Table]
 	if !ok {

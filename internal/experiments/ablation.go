@@ -177,8 +177,11 @@ func AblationHistogram(s Scale) *HistogramAblationResult {
 			if err != nil || exact == 0 {
 				continue
 			}
-			step := histogram.BuildEquiDepth(append([]int64(nil), values...), relq.HistogramBuckets)
+			// columnValues already returned a caller-owned copy, so
+			// BuildEquiDepth may sort it in place directly; BuildEquiWidth
+			// is order-insensitive, so sharing the (sorted) slice is fine.
 			width := histogram.BuildEquiWidth(values, relq.HistogramBuckets)
+			step := histogram.BuildEquiDepth(values, relq.HistogramBuckets)
 			stepErrSum += math.Abs(estimate(step, pred)-float64(exact)) / float64(exact)
 			widthErrSum += math.Abs(estimate(width, pred)-float64(exact)) / float64(exact)
 			stepSize += len(step.Encode(nil))

@@ -6,7 +6,10 @@
 // It is cheap enough to stay on by default: instrumentation sites fetch
 // their handles once at construction time, so the hot path is a single
 // pointer-indirect increment (counters) or one bits.Len plus an increment
-// (histograms). All handle methods are nil-safe, so a disabled layer (a
+// (histograms). The relational executor reports its scan work here too —
+// rows_scanned, rows_matched, blocks_pruned, plan_cache_hits and
+// plan_cache_misses (see relq.StandardExecStats) — batched as one atomic
+// add per counter per query execution. All handle methods are nil-safe, so a disabled layer (a
 // nil *Obs) costs one predicted branch per site and nothing else —
 // BenchmarkObsOverhead at the repository root quantifies the difference.
 //

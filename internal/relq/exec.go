@@ -3,6 +3,7 @@ package relq
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/agg"
 )
@@ -10,7 +11,10 @@ import (
 // Bind validates a parsed query against the table's schema and returns a
 // bound execution plan. Errors cover: wrong table, unknown columns,
 // aggregating a string column, and ordered comparisons against string
-// values.
+// values. Plans stay valid for the table's lifetime: they hold column
+// positions, the schema is immutable after creation, and execution reads
+// the table's current rows — so inserts never invalidate a plan (which is
+// what makes the bound-plan cache in plancache.go safe).
 func (t *Table) Bind(q *Query) (*Plan, error) {
 	if q.Table != t.schema.Name {
 		return nil, fmt.Errorf("relq: query targets table %q, this is %q", q.Table, t.schema.Name)
@@ -63,6 +67,248 @@ type boundPred struct {
 	val Expr
 }
 
+// execBuf holds the per-execution scratch state: the selection vector, the
+// resolved right-hand sides, the selectivity-ordered conjunct permutation,
+// and the per-block zone verdicts. Buffers are pooled so the steady-state
+// execution path allocates nothing.
+type execBuf struct {
+	sel   selVec
+	rhs   []int64
+	sels  []float64
+	order []int
+	skip  []bool
+}
+
+var execBufPool = sync.Pool{New: func() any {
+	return &execBuf{sel: make(selVec, 0, BlockSize)}
+}}
+
+func getExecBuf(npreds int) *execBuf {
+	b := execBufPool.Get().(*execBuf)
+	if cap(b.rhs) < npreds {
+		b.rhs = make([]int64, 0, npreds)
+		b.sels = make([]float64, 0, npreds)
+		b.order = make([]int, 0, npreds)
+		b.skip = make([]bool, npreds)
+	}
+	b.skip = b.skip[:npreds]
+	return b
+}
+
+func putExecBuf(b *execBuf) { execBufPool.Put(b) }
+
+// resolveRHS evaluates every predicate's right-hand side once per
+// execution (NOW() binds here).
+func (p *Plan) resolveRHS(nowSeconds int64, buf *execBuf) []int64 {
+	rhs := buf.rhs[:0]
+	for _, pr := range p.preds {
+		rhs = append(rhs, pr.val.Resolve(nowSeconds))
+	}
+	buf.rhs = rhs
+	return rhs
+}
+
+// predOrder returns the conjunct evaluation order: ascending estimated
+// selectivity (most selective first), estimated from the table's retained
+// data-summary histograms, so the first kernel shrinks the selection
+// vector as much as possible and later refinements touch fewer rows. Ties
+// (and predicates on unsummarized columns, pinned at selectivity 1) keep
+// query order — the sort is stable — so execution stays deterministic.
+// Conjunct order never changes which rows match, only how fast the
+// non-matches are discarded.
+func (p *Plan) predOrder(rhs []int64, buf *execBuf) []int {
+	order := buf.order[:0]
+	for i := range p.preds {
+		order = append(order, i)
+	}
+	buf.order = order
+	ts := p.table.lastSummary
+	if ts == nil || len(order) < 2 {
+		return order
+	}
+	sels := buf.sels[:0]
+	for i := range p.preds {
+		pr := &p.preds[i]
+		h, ok := ts.Columns[p.table.schema.Columns[pr.col].Name]
+		if !ok {
+			sels = append(sels, 1)
+			continue
+		}
+		sels = append(sels, predSelectivity(h, pr.op, rhs[i]))
+	}
+	buf.sels = sels
+	// Insertion sort: conjunct counts are tiny (the paper's queries have
+	// one or two), and it is stable and allocation-free.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && sels[order[j-1]] > sels[order[j]]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	return order
+}
+
+// blockSel evaluates the plan's predicates over block b (rows [lo, hi))
+// and returns the selection vector of matching rows (block-relative,
+// ascending). pruned reports that a zone map proved no row can match;
+// allMatch that zone maps proved every row matches, so no kernel ran and
+// sel is meaningless.
+func (p *Plan) blockSel(b, lo, hi int, rhs []int64, order []int, buf *execBuf) (sel selVec, allMatch, pruned bool) {
+	t := p.table
+	partial := 0
+	if t.zonesOff {
+		for _, k := range order {
+			buf.skip[k] = false
+		}
+		partial = len(order)
+	} else {
+		for _, k := range order {
+			pr := &p.preds[k]
+			switch zoneTest(pr.op, rhs[k], t.zmin[pr.col][b], t.zmax[pr.col][b]) {
+			case zoneNone:
+				return nil, false, true
+			case zoneAll:
+				buf.skip[k] = true
+			default:
+				buf.skip[k] = false
+				partial++
+			}
+		}
+	}
+	if partial == 0 {
+		return nil, true, false
+	}
+	sel = buf.sel[:0]
+	first := true
+	for _, k := range order {
+		if buf.skip[k] {
+			continue
+		}
+		pr := &p.preds[k]
+		seg := t.cols[pr.col][lo:hi]
+		if first {
+			sel = selInit(pr.op, seg, rhs[k], sel)
+			first = false
+		} else {
+			if len(sel) == 0 {
+				break
+			}
+			sel = selRefine(pr.op, seg, rhs[k], sel)
+		}
+	}
+	buf.sel = sel[:0]
+	return sel, false, false
+}
+
+// Execute runs the plan over the whole table and returns the aggregate
+// partial. nowSeconds binds NOW().
+//
+// Execution is batch-at-a-time: blocks whose zone maps prove no match are
+// skipped whole; surviving blocks build a selection vector through the
+// per-operator kernels (most selective conjunct first) and feed the batch
+// aggregate kernels. Rows are observed in ascending row order with the
+// exact operation sequence of the row-at-a-time oracle, so the returned
+// Partial is bit-identical to ExecuteOracle's — the property the
+// differential suite asserts and the simulation's determinism gates
+// depend on.
+func (p *Plan) Execute(nowSeconds int64) agg.Partial {
+	t := p.table
+	var out agg.Partial
+	if len(p.preds) == 0 {
+		if p.aggCol < 0 {
+			out.Count = int64(t.rows)
+		} else {
+			aggColAll(&out, t.cols[p.aggCol][:t.rows])
+		}
+		t.stats.RowsMatched.Add(uint64(t.rows))
+		return out
+	}
+	buf := getExecBuf(len(p.preds))
+	defer putExecBuf(buf)
+	rhs := p.resolveRHS(nowSeconds, buf)
+	order := p.predOrder(rhs, buf)
+
+	var scanned, matched, prunedBlocks uint64
+	for b, nb := 0, t.NumBlocks(); b < nb; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > t.rows {
+			hi = t.rows
+		}
+		sel, all, pruned := p.blockSel(b, lo, hi, rhs, order, buf)
+		if pruned {
+			prunedBlocks++
+			continue
+		}
+		if all {
+			matched += uint64(hi - lo)
+			if p.aggCol < 0 {
+				out.Count += int64(hi - lo)
+			} else {
+				aggColAll(&out, t.cols[p.aggCol][lo:hi])
+			}
+			continue
+		}
+		scanned += uint64(hi - lo)
+		matched += uint64(len(sel))
+		if len(sel) == 0 {
+			continue
+		}
+		if p.aggCol < 0 {
+			out.Count += int64(len(sel))
+		} else {
+			aggColSel(&out, t.cols[p.aggCol][lo:hi], sel)
+		}
+	}
+	t.stats.RowsScanned.Add(scanned)
+	t.stats.RowsMatched.Add(matched)
+	t.stats.BlocksPruned.Add(prunedBlocks)
+	return out
+}
+
+// CountMatching returns the exact number of rows matching the plan's
+// predicates (the "rows relevant to the query" that completeness is
+// measured against). It shares Execute's block-pruned, vectorized path.
+func (p *Plan) CountMatching(nowSeconds int64) int64 {
+	t := p.table
+	if len(p.preds) == 0 {
+		t.stats.RowsMatched.Add(uint64(t.rows))
+		return int64(t.rows)
+	}
+	buf := getExecBuf(len(p.preds))
+	defer putExecBuf(buf)
+	rhs := p.resolveRHS(nowSeconds, buf)
+	order := p.predOrder(rhs, buf)
+
+	var n int64
+	var scanned, prunedBlocks uint64
+	for b, nb := 0, t.NumBlocks(); b < nb; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > t.rows {
+			hi = t.rows
+		}
+		sel, all, pruned := p.blockSel(b, lo, hi, rhs, order, buf)
+		switch {
+		case pruned:
+			prunedBlocks++
+		case all:
+			n += int64(hi - lo)
+		default:
+			scanned += uint64(hi - lo)
+			n += int64(len(sel))
+		}
+	}
+	t.stats.RowsScanned.Add(scanned)
+	t.stats.RowsMatched.Add(uint64(n))
+	t.stats.BlocksPruned.Add(prunedBlocks)
+	return n
+}
+
+// ------------------------------------------------------ row-at-a-time oracle
+
+// cmpMatch is the scalar comparison the oracle applies per row; the
+// vectorized kernels in kernels.go specialize the same semantics per
+// operator.
 func cmpMatch(op CmpOp, v, rhs int64) bool {
 	switch op {
 	case OpEq:
@@ -82,9 +328,12 @@ func cmpMatch(op CmpOp, v, rhs int64) bool {
 	}
 }
 
-// Execute runs the plan over the whole table and returns the aggregate
-// partial. nowSeconds binds NOW().
-func (p *Plan) Execute(nowSeconds int64) agg.Partial {
+// ExecuteOracle runs the plan with the original row-at-a-time loop: one
+// predicate check per row per conjunct, one Observe per matching row. It
+// is kept unconditionally compiled (no build tag) as the reference oracle
+// for differential testing and as the pinned baseline BenchmarkRelqScan
+// measures the vectorized path against.
+func (p *Plan) ExecuteOracle(nowSeconds int64) agg.Partial {
 	rhs := make([]int64, len(p.preds))
 	for i, pr := range p.preds {
 		rhs[i] = pr.val.Resolve(nowSeconds)
@@ -107,10 +356,8 @@ rows:
 	return out
 }
 
-// CountMatching returns the exact number of rows matching the plan's
-// predicates (the "rows relevant to the query" that completeness is
-// measured against).
-func (p *Plan) CountMatching(nowSeconds int64) int64 {
+// CountMatchingOracle is the row-at-a-time reference for CountMatching.
+func (p *Plan) CountMatchingOracle(nowSeconds int64) int64 {
 	rhs := make([]int64, len(p.preds))
 	for i, pr := range p.preds {
 		rhs[i] = pr.val.Resolve(nowSeconds)
@@ -129,22 +376,34 @@ rows:
 	return n
 }
 
-// Execute is a convenience wrapper: bind and run in one step.
+// --------------------------------------------------------- table conveniences
+
+// Execute binds (through the bound-plan cache) and runs in one step.
 func (t *Table) Execute(q *Query, nowSeconds int64) (agg.Partial, error) {
-	plan, err := t.Bind(q)
+	plan, err := t.Plan(q)
 	if err != nil {
 		return agg.Partial{}, err
 	}
 	return plan.Execute(nowSeconds), nil
 }
 
-// CountMatching binds and counts rows matching the query's predicates.
+// CountMatching binds (through the bound-plan cache) and counts rows
+// matching the query's predicates.
 func (t *Table) CountMatching(q *Query, nowSeconds int64) (int64, error) {
-	plan, err := t.Bind(q)
+	plan, err := t.Plan(q)
 	if err != nil {
 		return 0, err
 	}
 	return plan.CountMatching(nowSeconds), nil
+}
+
+// ExecuteOracle binds and runs the row-at-a-time reference path.
+func (t *Table) ExecuteOracle(q *Query, nowSeconds int64) (agg.Partial, error) {
+	plan, err := t.Bind(q)
+	if err != nil {
+		return agg.Partial{}, err
+	}
+	return plan.ExecuteOracle(nowSeconds), nil
 }
 
 // predSelectivity estimates the fraction of rows matching one predicate

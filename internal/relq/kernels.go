@@ -1,0 +1,224 @@
+package relq
+
+import "repro/internal/agg"
+
+// This file holds the batch-at-a-time execution kernels: per-operator
+// selection-vector builders and refiners, zone-map block tests, and
+// aggregate folds over a selection vector. Each kernel is one tight loop
+// over a contiguous []int64 column segment with no per-row function calls;
+// dispatch on the comparison operator happens once per (block, predicate),
+// amortized over up to BlockSize rows.
+
+// selVec indexes rows within one block. int32 suffices (BlockSize < 2^31)
+// and halves the selection vector's cache footprint versus int.
+type selVec = []int32
+
+// zoneResult classifies a block against one predicate using its zone map.
+type zoneResult uint8
+
+const (
+	// zonePartial: the zone cannot decide; evaluate the predicate.
+	zonePartial zoneResult = iota
+	// zoneNone: no row in the block can match; the block is prunable.
+	zoneNone
+	// zoneAll: every row in the block matches; the predicate can be
+	// skipped for this block without evaluation.
+	zoneAll
+)
+
+// zoneTest classifies a block whose column values lie in [lo, hi] against
+// the predicate (op, rhs).
+func zoneTest(op CmpOp, rhs, lo, hi int64) zoneResult {
+	switch op {
+	case OpEq:
+		if rhs < lo || rhs > hi {
+			return zoneNone
+		}
+		if lo == hi { // the whole block holds exactly rhs
+			return zoneAll
+		}
+	case OpNe:
+		if lo == hi {
+			if lo == rhs {
+				return zoneNone
+			}
+			return zoneAll
+		}
+		if rhs < lo || rhs > hi {
+			return zoneAll
+		}
+	case OpLt:
+		if hi < rhs {
+			return zoneAll
+		}
+		if lo >= rhs {
+			return zoneNone
+		}
+	case OpLe:
+		if hi <= rhs {
+			return zoneAll
+		}
+		if lo > rhs {
+			return zoneNone
+		}
+	case OpGt:
+		if lo > rhs {
+			return zoneAll
+		}
+		if hi <= rhs {
+			return zoneNone
+		}
+	case OpGe:
+		if lo >= rhs {
+			return zoneAll
+		}
+		if hi < rhs {
+			return zoneNone
+		}
+	}
+	return zonePartial
+}
+
+// selInit scans a full block segment and appends the indices of matching
+// rows to sel (which the caller supplies empty with BlockSize capacity, so
+// the append never grows).
+func selInit(op CmpOp, col []int64, rhs int64, sel selVec) selVec {
+	switch op {
+	case OpEq:
+		for i, v := range col {
+			if v == rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	case OpNe:
+		for i, v := range col {
+			if v != rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	case OpLt:
+		for i, v := range col {
+			if v < rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	case OpLe:
+		for i, v := range col {
+			if v <= rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	case OpGt:
+		for i, v := range col {
+			if v > rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	case OpGe:
+		for i, v := range col {
+			if v >= rhs {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
+// selRefine filters an existing selection vector in place, keeping only
+// the rows that also satisfy (op, rhs). Refinement preserves ascending row
+// order, which the aggregate kernels rely on for bit-exact float
+// accumulation.
+func selRefine(op CmpOp, col []int64, rhs int64, sel selVec) selVec {
+	out := sel[:0]
+	switch op {
+	case OpEq:
+		for _, i := range sel {
+			if col[i] == rhs {
+				out = append(out, i)
+			}
+		}
+	case OpNe:
+		for _, i := range sel {
+			if col[i] != rhs {
+				out = append(out, i)
+			}
+		}
+	case OpLt:
+		for _, i := range sel {
+			if col[i] < rhs {
+				out = append(out, i)
+			}
+		}
+	case OpLe:
+		for _, i := range sel {
+			if col[i] <= rhs {
+				out = append(out, i)
+			}
+		}
+	case OpGt:
+		for _, i := range sel {
+			if col[i] > rhs {
+				out = append(out, i)
+			}
+		}
+	case OpGe:
+		for _, i := range sel {
+			if col[i] >= rhs {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// aggColSel folds the selected rows of a column segment into the running
+// partial. The fold is exactly the sequence of agg.Partial.Observe calls
+// the row-at-a-time oracle would make — one running float64 accumulator,
+// rows in ascending order — so results are bit-identical (float addition
+// is not associative; per-block sub-totals would diverge in the last ulp).
+func aggColSel(out *agg.Partial, col []int64, sel selVec) {
+	count, sum := out.Count, out.Sum
+	minV, maxV, has := out.MinV, out.MaxV, out.HasBound
+	for _, i := range sel {
+		v := float64(col[i])
+		count++
+		sum += v
+		if !has {
+			minV, maxV, has = v, v, true
+		} else {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	out.Count, out.Sum = count, sum
+	out.MinV, out.MaxV, out.HasBound = minV, maxV, has
+}
+
+// aggColAll folds every row of a column segment into the running partial,
+// for blocks where zone maps proved all rows match (or predicate-free
+// plans). Same accumulation order and operations as aggColSel.
+func aggColAll(out *agg.Partial, col []int64) {
+	count, sum := out.Count, out.Sum
+	minV, maxV, has := out.MinV, out.MaxV, out.HasBound
+	for _, v64 := range col {
+		v := float64(v64)
+		count++
+		sum += v
+		if !has {
+			minV, maxV, has = v, v, true
+		} else {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	out.Count, out.Sum = count, sum
+	out.MinV, out.MaxV, out.HasBound = minV, maxV, has
+}

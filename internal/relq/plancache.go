@@ -1,0 +1,62 @@
+package relq
+
+// Bound-plan cache. Binding is cheap but not free — column lookups plus a
+// Plan and boundPred allocation per query — and the simulation re-binds
+// constantly: continuous queries re-execute every period, rejoining
+// endsystems replay the active query list, and completeness accounting
+// re-counts matching rows after every result update. Caching the bound
+// plan makes all of those skip parse/bind entirely.
+//
+// Keying: plans are cached by *Query identity. Query objects are immutable
+// after Parse/BindNow (BindNow copies rather than mutating), so a pointer
+// names one fixed (text, resolved-NOW) combination — unlike Query.Raw,
+// which two BindNow copies taken at different clocks share while wanting
+// different plans. Pointer keys also make hits exactly the cases that
+// matter: an endsystem re-executing the query object it already holds.
+//
+// Invalidation: none is needed. A Plan holds column positions and reads
+// the table's rows at execution time; the schema is immutable and inserts
+// only extend columns, so a cached plan can never go stale. The cache is
+// bounded (FIFO eviction) so transiently-bound queries — e.g. the
+// per-call BindNow copies cluster-level truth counting creates — cannot
+// grow it or pin their Query objects beyond planCacheCap entries.
+
+// planCacheCap bounds the per-table cache. An endsystem concurrently
+// serves at most a handful of standing queries plus the in-flight
+// one-shots; 32 covers that with room while keeping eviction scans trivial.
+const planCacheCap = 32
+
+type planCache struct {
+	m    map[*Query]*Plan
+	fifo []*Query // insertion order, for FIFO eviction
+}
+
+// Plan returns the bound plan for q, binding and caching it on first use.
+// Errors are not cached: a query that fails to bind re-reports the error
+// on every call.
+func (t *Table) Plan(q *Query) (*Plan, error) {
+	if p, ok := t.plans.m[q]; ok {
+		t.stats.PlanCacheHits.Inc()
+		return p, nil
+	}
+	p, err := t.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	t.stats.PlanCacheMisses.Inc()
+	if t.plans.m == nil {
+		t.plans.m = make(map[*Query]*Plan, planCacheCap)
+	}
+	if len(t.plans.fifo) >= planCacheCap {
+		oldest := t.plans.fifo[0]
+		copy(t.plans.fifo, t.plans.fifo[1:])
+		t.plans.fifo = t.plans.fifo[:len(t.plans.fifo)-1]
+		delete(t.plans.m, oldest)
+	}
+	t.plans.m[q] = p
+	t.plans.fifo = append(t.plans.fifo, q)
+	return p, nil
+}
+
+// PlanCacheLen reports the number of cached bound plans (for tests).
+func (t *Table) PlanCacheLen() int { return len(t.plans.m) }

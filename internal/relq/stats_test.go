@@ -1,0 +1,138 @@
+package relq
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// statsTable builds a 4-block table whose ts column is monotone (so ts
+// ranges can prune blocks) and wires fresh counters, returning both.
+func statsTable(t *testing.T) (*Table, *obs.Obs) {
+	t.Helper()
+	schema := Schema{Name: "T", Columns: []Column{
+		{Name: "ts", Type: TInt, Indexed: true},
+		{Name: "v", Type: TInt},
+	}}
+	tbl := NewTable(schema)
+	for r := 0; r < 4*BlockSize; r++ {
+		if err := tbl.InsertInts(int64(r), int64(r%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := obs.New()
+	tbl.SetExecStats(StandardExecStats(o))
+	return tbl, o
+}
+
+func TestExecStatsCounters(t *testing.T) {
+	tbl, o := statsTable(t)
+	// ts >= 3*BlockSize selects exactly the last block; the first three
+	// blocks are zone-prunable, and the zone map proves the last block
+	// matches in full (zoneAll), so no rows are kernel-scanned at all.
+	q := MustParse("SELECT COUNT(*) FROM T WHERE ts >= 6144")
+	part, err := tbl.Execute(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Count != int64(BlockSize) {
+		t.Fatalf("count = %d, want %d", part.Count, BlockSize)
+	}
+	if got := o.Counter("blocks_pruned").Value(); got != 3 {
+		t.Fatalf("blocks_pruned = %d, want 3", got)
+	}
+	if got := o.Counter("rows_scanned").Value(); got != 0 {
+		t.Fatalf("rows_scanned = %d, want 0 (zone maps decided every block)", got)
+	}
+	if got := o.Counter("rows_matched").Value(); got != uint64(BlockSize) {
+		t.Fatalf("rows_matched = %d, want %d", got, BlockSize)
+	}
+
+	// An unprunable predicate scans everything.
+	q2 := MustParse("SELECT COUNT(*) FROM T WHERE v = 13")
+	if _, err := tbl.Execute(q2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("rows_scanned").Value(); got != uint64(4*BlockSize) {
+		t.Fatalf("rows_scanned = %d, want %d", got, 4*BlockSize)
+	}
+}
+
+// TestPruningCountersZeroWhenZoneMapsDisabled is the satellite gate:
+// with zone maps off, nothing may report as pruned — every block is
+// kernel-scanned — while results stay identical.
+func TestPruningCountersZeroWhenZoneMapsDisabled(t *testing.T) {
+	tbl, o := statsTable(t)
+	tbl.SetZoneMaps(false)
+	q := MustParse("SELECT SUM(v) FROM T WHERE ts >= 6144")
+	part, err := tbl.Execute(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := tbl.CountMatching(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("blocks_pruned").Value(); got != 0 {
+		t.Fatalf("blocks_pruned = %d with zone maps disabled, want 0", got)
+	}
+	// Execute + CountMatching each scanned all four blocks.
+	if got := o.Counter("rows_scanned").Value(); got != uint64(2*4*BlockSize) {
+		t.Fatalf("rows_scanned = %d, want %d", got, 2*4*BlockSize)
+	}
+	tbl.SetZoneMaps(true)
+	want, err := tbl.ExecuteOracle(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != want || cnt != want.Count {
+		t.Fatalf("disabled-zone-map results diverge: %+v / %d vs oracle %+v", part, cnt, want)
+	}
+}
+
+func TestPlanCache(t *testing.T) {
+	tbl, o := statsTable(t)
+	q := MustParse("SELECT COUNT(*) FROM T WHERE v = 13")
+	if _, err := tbl.Execute(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CountMatching(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := o.Counter("plan_cache_hits").Value(), o.Counter("plan_cache_misses").Value(); hits != 1 || misses != 1 {
+		t.Fatalf("plan cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if n := tbl.PlanCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d plans, want 1", n)
+	}
+
+	// A distinct Query object — even with identical text — is a distinct
+	// plan: pointer identity is the key (two BindNow copies of a NOW()
+	// query share Raw but need different plans).
+	q2 := MustParse("SELECT COUNT(*) FROM T WHERE v = 13")
+	if _, err := tbl.Execute(q2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.PlanCacheLen(); n != 2 {
+		t.Fatalf("cache holds %d plans, want 2", n)
+	}
+
+	// The cache is bounded: flooding it with transient queries evicts FIFO
+	// and never exceeds the cap.
+	for i := 0; i < 3*planCacheCap; i++ {
+		if _, err := tbl.Execute(MustParse("SELECT COUNT(*) FROM T"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tbl.PlanCacheLen(); n > planCacheCap {
+		t.Fatalf("cache grew to %d plans, cap is %d", n, planCacheCap)
+	}
+
+	// Binding errors are not cached and keep erroring.
+	bad := MustParse("SELECT COUNT(*) FROM T WHERE nope = 1")
+	for i := 0; i < 2; i++ {
+		if _, err := tbl.Execute(bad, 0); err == nil {
+			t.Fatal("expected bind error for unknown column")
+		}
+	}
+}

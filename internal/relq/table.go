@@ -7,6 +7,13 @@
 // conjunctive comparison predicates, including NOW() arithmetic), exact
 // execution, and histogram-based row-count estimation.
 //
+// Storage is columnar and block-structured: each column is one contiguous
+// []int64, logically partitioned into fixed BlockSize-row blocks, and every
+// (column, block) pair carries a zone map — the min and max value in that
+// block, maintained incrementally on insert. Execution is batch-at-a-time
+// (see exec.go and kernels.go): zone maps skip whole blocks, and surviving
+// blocks are evaluated with per-operator selection-vector kernels.
+//
 // String values are stored hash-encoded: a string column holds the 63-bit
 // FNV hash of each value. Equality predicates hash their literal, so
 // histograms built on the hashed column transfer between endsystems without
@@ -63,20 +70,76 @@ func HashString(s string) int64 {
 	return int64(h.Sum64() &^ (1 << 63))
 }
 
+// BlockSize is the number of rows per storage block. Each block carries a
+// per-column zone map (min/max) so predicate evaluation can skip it
+// entirely when the zone proves no row can match. 2048 rows keeps a block's
+// working set (one column segment, 16 kB) inside L1 while amortizing the
+// per-block dispatch overhead across thousands of rows.
+const BlockSize = 2048
+
 // Table is a columnar table holding one endsystem's horizontal partition of
-// a dataset.
+// a dataset. Tables are not safe for concurrent use; in the simulation each
+// table belongs to exactly one endsystem, which executes on one shard.
 type Table struct {
 	schema Schema
 	cols   [][]int64
 	rows   int
+
+	// Zone maps: zmin[c][b] / zmax[c][b] bound the values of column c in
+	// block b (rows [b*BlockSize, min((b+1)*BlockSize, rows))). They are
+	// maintained incrementally on insert — a fresh block's zone starts at
+	// its first row's value and widens as rows arrive — so a zone is valid
+	// at all times, including for the trailing partially-filled block.
+	zmin, zmax [][]int64
+
+	// zonesOff disables zone-map pruning at execution time (construction
+	// continues, so re-enabling needs no rebuild). Used by benchmarks and
+	// tests to isolate the kernels' contribution from pruning's.
+	zonesOff bool
+
+	// stats holds the executor's observability counters (nil handles are
+	// no-ops; see SetExecStats).
+	stats ExecStats
+
+	// lastSummary is the most recent BuildSummary result, kept so the
+	// executor can order conjuncts by estimated selectivity without a
+	// side channel (the node already rebuilds the summary whenever its
+	// data changes).
+	lastSummary *TableSummary
+
+	// plans caches bound plans keyed by query identity (see plancache.go).
+	plans planCache
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(schema Schema) *Table {
-	return &Table{
+	return NewTableWithCapacity(schema, 0)
+}
+
+// NewTableWithCapacity creates an empty table preallocating column storage
+// for rowCap rows (rounded up to whole blocks) and the matching zone-map
+// capacity. Bulk loaders that know their row count up front — anemone
+// generation in particular — use this to avoid append-regrowth churn,
+// which at N=100k+ endsystems otherwise re-copies every column
+// O(log rows) times.
+func NewTableWithCapacity(schema Schema, rowCap int) *Table {
+	t := &Table{
 		schema: schema,
 		cols:   make([][]int64, len(schema.Columns)),
+		zmin:   make([][]int64, len(schema.Columns)),
+		zmax:   make([][]int64, len(schema.Columns)),
 	}
+	if rowCap > 0 {
+		// Block-align the capacity so the last reserved block is whole.
+		blocks := (rowCap + BlockSize - 1) / BlockSize
+		rowCap = blocks * BlockSize
+		for i := range t.cols {
+			t.cols[i] = make([]int64, 0, rowCap)
+			t.zmin[i] = make([]int64, 0, blocks)
+			t.zmax[i] = make([]int64, 0, blocks)
+		}
+	}
+	return t
 }
 
 // Schema returns the table's schema.
@@ -85,22 +148,38 @@ func (t *Table) Schema() *Schema { return &t.schema }
 // NumRows returns the number of rows in the table.
 func (t *Table) NumRows() int { return t.rows }
 
+// NumBlocks returns the number of storage blocks (including the trailing
+// partial block, if any).
+func (t *Table) NumBlocks() int { return (t.rows + BlockSize - 1) / BlockSize }
+
+// SetZoneMaps enables or disables zone-map block pruning at execution
+// time. Zone maps are still maintained on insert either way, so pruning
+// can be toggled without rebuilding the table. Results are identical in
+// both modes; only blocks_pruned / rows_scanned accounting and speed
+// differ.
+func (t *Table) SetZoneMaps(enabled bool) { t.zonesOff = !enabled }
+
+// ZoneMapsEnabled reports whether zone-map pruning is in effect.
+func (t *Table) ZoneMapsEnabled() bool { return !t.zonesOff }
+
 // Insert appends one row. Values must match the schema's arity and types:
 // int/int64/time-like integers for TInt columns, string for TString
-// columns.
+// columns. The row is encoded in full before any column is touched, so a
+// type error leaves the table unchanged.
 func (t *Table) Insert(values ...any) error {
 	if len(values) != len(t.schema.Columns) {
 		return fmt.Errorf("relq: table %s: %d values for %d columns",
 			t.schema.Name, len(values), len(t.schema.Columns))
 	}
+	enc := make([]int64, len(values))
 	for i, v := range values {
-		enc, err := encodeValue(t.schema.Columns[i], v)
+		e, err := encodeValue(t.schema.Columns[i], v)
 		if err != nil {
 			return err
 		}
-		t.cols[i] = append(t.cols[i], enc)
+		enc[i] = e
 	}
-	t.rows++
+	t.appendRow(enc)
 	return nil
 }
 
@@ -112,11 +191,33 @@ func (t *Table) InsertInts(values ...int64) error {
 		return fmt.Errorf("relq: table %s: %d values for %d columns",
 			t.schema.Name, len(values), len(t.schema.Columns))
 	}
-	for i, v := range values {
-		t.cols[i] = append(t.cols[i], v)
+	t.appendRow(values)
+	return nil
+}
+
+// appendRow appends one encoded row and folds it into the current block's
+// zone maps, opening a fresh block when the previous one is full.
+func (t *Table) appendRow(values []int64) {
+	if t.rows%BlockSize == 0 {
+		// First row of a new block: its value is the zone on both ends.
+		for i, v := range values {
+			t.cols[i] = append(t.cols[i], v)
+			t.zmin[i] = append(t.zmin[i], v)
+			t.zmax[i] = append(t.zmax[i], v)
+		}
+	} else {
+		b := t.rows / BlockSize
+		for i, v := range values {
+			t.cols[i] = append(t.cols[i], v)
+			if v < t.zmin[i][b] {
+				t.zmin[i][b] = v
+			}
+			if v > t.zmax[i][b] {
+				t.zmax[i][b] = v
+			}
+		}
 	}
 	t.rows++
-	return nil
 }
 
 func encodeValue(col Column, v any) (int64, error) {
@@ -145,7 +246,8 @@ func encodeValue(col Column, v any) (int64, error) {
 
 // ColumnValues returns a copy of one column's stored int64 values (string
 // columns come back as their hash codes). It exists for statistics and
-// experiment code that builds alternative summaries over the same data.
+// experiment code that builds alternative summaries over the same data;
+// callers own the copy and may reorder it freely.
 func (t *Table) ColumnValues(name string) []int64 {
 	i := t.schema.ColumnIndex(name)
 	if i < 0 {
@@ -169,7 +271,8 @@ const maxFrequencyDistinct = 64
 
 // BuildSummary builds the table's data summary: one histogram per indexed
 // column. Low-cardinality columns get exact frequency histograms; numeric
-// columns get equi-depth histograms.
+// columns get equi-depth histograms. The summary is also retained on the
+// table so the executor can order conjuncts by estimated selectivity.
 func (t *Table) BuildSummary() *TableSummary {
 	ts := &TableSummary{
 		Table:     t.schema.Name,
@@ -184,9 +287,14 @@ func (t *Table) BuildSummary() *TableSummary {
 			ts.Columns[col.Name] = h
 			continue
 		}
+		// Exactly one copy: BuildEquiDepth sorts its input in place, and
+		// sorting t.cols[i] itself would destroy row order and invalidate
+		// the zone maps, so the copy below is required — and sufficient
+		// (BuildEquiDepth does not copy again internally).
 		vals := make([]int64, len(t.cols[i]))
 		copy(vals, t.cols[i])
 		ts.Columns[col.Name] = histogram.BuildEquiDepth(vals, HistogramBuckets)
 	}
+	t.lastSummary = ts
 	return ts
 }
