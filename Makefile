@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench cluster-bench cluster-bench-sharded shard-smoke bench-smoke relq-bench relq-smoke profile sweep-smoke chaos-smoke workload-smoke trace-smoke qserve-bench obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench cluster-bench-sharded shard-smoke bench-smoke relq-bench relq-smoke profile sweep-smoke chaos-smoke hedge-smoke hedge-bench workload-smoke trace-smoke qserve-bench obs-bench check clean
 
 all: check
 
@@ -87,10 +87,26 @@ sweep-smoke:
 # scenario at smoke scale, each run judged by the always-on invariant
 # checker (exit 1 on any violation). Reports land in chaos-<name>.json.
 chaos-smoke:
-	@for s in partition burstloss flap mixed; do \
+	@for s in partition burstloss flap mixed straggler; do \
 		echo "== chaos $$s =="; \
 		$(GO) run ./cmd/seaweed-sim -chaos $$s -smoke -out chaos-$$s || exit 1; \
 	done
+
+# hedge-smoke is the CI gate for interior-vertex hedging: the paired-seed
+# ablation study (hedged p99 completion must strictly beat `-ablate
+# hedging` under the straggler scenario, at <= 10% extra messages, with
+# identical final rows), plus one straggler chaos run with its invariant
+# checker. Deterministic; reports land in chaos-straggler.json.
+hedge-smoke:
+	$(GO) test -run TestHedgeSmoke -v ./internal/experiments/
+	$(GO) run ./cmd/seaweed-sim -chaos straggler -smoke -out chaos-straggler
+
+# hedge-bench runs the full-scale paired-seed hedging study and writes
+# the "hedged_aggregation" entry of BENCH_cluster.json (aggregation p99
+# under straggler + burst loss, hedged vs ablated). Fails if the hedged
+# tail stops strictly beating the ablation or overhead exceeds 10%.
+hedge-bench:
+	$(GO) test -run '^$$' -bench BenchmarkHedgedAggregation -benchtime=1x .
 
 # workload-smoke is the CI query-service gate: the smoke sweep test
 # (byte-determinism at 1 vs 8 engine workers, ablation teeth on

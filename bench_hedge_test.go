@@ -1,0 +1,72 @@
+// BenchmarkHedgedAggregation is the tail-latency acceptance gate for
+// interior-vertex hedging: the full-scale straggler chaos scenario (two
+// slow region cohorts, a correlated burst-loss episode, a duplication
+// window) run over paired seeds, hedged vs ablated. The benchmark fails —
+// it does not merely report — if hedged p99 completion stops strictly
+// beating the ablated runs or the message overhead exceeds 10%; the
+// numbers land in the "hedged_aggregation" entry of BENCH_cluster.json
+// via `make hedge-bench`.
+package seaweed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var hedgeBenchSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+
+type hedgeBenchSummary struct {
+	Label        string                  `json:"label"`
+	Scenario     string                  `json:"scenario"`
+	Seeds        []int64                 `json:"seeds"`
+	HedgedP99NS  int64                   `json:"hedged_p99_complete_ns"`
+	AblatedP99NS int64                   `json:"ablated_p99_complete_ns"`
+	SpeedupX     float64                 `json:"p99_speedup_x"`
+	SendsRatio   float64                 `json:"hedged_to_ablated_sends_ratio"`
+	Issued       int64                   `json:"hedges_issued"`
+	Won          int64                   `json:"hedges_won"`
+	Pairs        []experiments.HedgePair `json:"pairs"`
+}
+
+func BenchmarkHedgedAggregation(b *testing.B) {
+	var r *experiments.HedgeStudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.HedgeStudy(hedgeBenchSeeds, false, 0)
+	}
+	for _, p := range r.Pairs {
+		if !p.HedgedOK || !p.AblatedOK {
+			b.Fatalf("seed %d: a paired run violated a fault invariant (hedged ok=%v, ablated ok=%v)",
+				p.Seed, p.HedgedOK, p.AblatedOK)
+		}
+		if !p.RowsEqual {
+			b.Fatalf("seed %d: hedged and ablated runs converged to different final rows", p.Seed)
+		}
+	}
+	if r.HedgedP99 >= r.AblatedP99 {
+		b.Fatalf("hedged p99 %v does not strictly beat ablated %v", r.HedgedP99, r.AblatedP99)
+	}
+	if r.SendsRatio > 1.10 {
+		b.Fatalf("hedging cost %.1f%% extra messages, budget is 10%%", 100*(r.SendsRatio-1))
+	}
+	b.ReportMetric(float64(r.HedgedP99)/float64(time.Second), "hedged-p99-s")
+	b.ReportMetric(float64(r.AblatedP99)/float64(time.Second), "ablated-p99-s")
+	b.ReportMetric(r.SendsRatio, "sends-ratio")
+
+	sum := hedgeBenchSummary{
+		Label:        "aggregation p99 under straggler + burst loss",
+		Scenario:     "straggler",
+		Seeds:        hedgeBenchSeeds,
+		HedgedP99NS:  int64(r.HedgedP99),
+		AblatedP99NS: int64(r.AblatedP99),
+		SpeedupX:     float64(r.AblatedP99) / float64(r.HedgedP99),
+		SendsRatio:   r.SendsRatio,
+		Issued:       r.TotalIssued,
+		Won:          r.TotalWon,
+		Pairs:        r.Pairs,
+	}
+	if err := writeBenchEntry("hedged_aggregation", sum); err != nil {
+		b.Logf("BENCH_cluster.json not written: %v", err)
+	}
+}

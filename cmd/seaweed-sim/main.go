@@ -24,9 +24,11 @@
 //	seaweed-sim -workload heavy -ablate admission  # serve one ablated variant only
 //
 // -chaos runs a scripted fault scenario (partition, burstloss, flap,
-// mixed) against an always-on invariant checker and prints the chaos
-// report; the exit status is 1 when any invariant failed. The report is
-// byte-deterministic for a given scenario and seed.
+// mixed, straggler) against an always-on invariant checker and prints the
+// chaos report; the exit status is 1 when any invariant failed. The
+// report is byte-deterministic for a given scenario and seed. With
+// -ablate hedging the run disables tail-tolerant duplicate pulls at
+// interior aggregation vertices (the straggler scenario's ablation).
 //
 // -workload serves an open-loop query workload (light, heavy, spike)
 // through the delay-aware query service, once with the full scheduler and
@@ -76,10 +78,10 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2, 5, 6, 7, 8, 9a, 9b, 9c, 9d, 10")
 	ablation := flag.String("ablation", "", "ablation to run: arity, predictor, histogram, push, replicas, deltapush")
-	chaos := flag.String("chaos", "", "chaos scenario to run: partition, burstloss, flap, mixed")
+	chaos := flag.String("chaos", "", "chaos scenario to run: partition, burstloss, flap, mixed, straggler")
 	workload := flag.String("workload", "", "query-service workload to serve: light, heavy, spike")
 	qps := flag.Float64("qps", 0, "with -workload: interactive arrival rate in queries/hour (0 = the preset's; other classes scale proportionally)")
-	ablate := flag.String("ablate", "", "with -chaos: disable a hardening mechanism (backoff, repair); with -workload: serve one ablated variant (admission, priority)")
+	ablate := flag.String("ablate", "", "with -chaos: disable a hardening mechanism (backoff, repair, hedging); with -workload: serve one ablated variant (admission, priority)")
 	full := flag.Bool("full", false, "approach the paper's deployment sizes (much slower)")
 	all := flag.Bool("all", false, "run every simulation figure")
 	sweep := flag.Bool("sweep", false, "run the Figures 5–8 completeness sweep through the parallel engine")
@@ -325,8 +327,10 @@ func main() {
 			cfg.DisableDissemBackoff = true
 		case "repair":
 			cfg.DisableAggRepair = true
+		case "hedging":
+			cfg.DisableHedging = true
 		default:
-			fmt.Fprintf(os.Stderr, "unknown ablation %q (have: backoff, repair)\n", *ablate)
+			fmt.Fprintf(os.Stderr, "unknown ablation %q (have: backoff, repair, hedging)\n", *ablate)
 			os.Exit(2)
 		}
 		if traceSink != nil {

@@ -31,6 +31,7 @@ package aggtree
 
 import (
 	"fmt"
+	"math/rand"
 	"slices"
 	"sort"
 	"time"
@@ -65,6 +66,35 @@ type Config struct {
 	// only: it exists so the chaos invariant checker can demonstrate that
 	// aggregate state stranded by crashes is otherwise lost.
 	DisableRepair bool
+
+	// HedgeQuantile enables tail-tolerant hedging at interior vertices:
+	// each vertex tracks a per-child inter-update gap distribution, and
+	// when an awaited child stays silent past this quantile of its own
+	// history the vertex pulls a duplicate answer from one of the child's
+	// advertised backup replicas (version-keyed contributions dedupe
+	// whichever answer lands second). 0 disables hedging entirely — the
+	// default, keeping every non-hedged run byte-identical to before the
+	// feature existed.
+	HedgeQuantile float64
+	// HedgeBudget is the token-bucket refill rate in hedge tokens per
+	// vertex-minute of virtual time (default 4). Time-based rather than
+	// traffic-based: the silence that makes hedging necessary is exactly
+	// when child traffic vanishes. A winning hedge refunds its token and
+	// a current child's ack disarms its watch, so the budget throttles
+	// the unproductive residue only — steady state spends almost nothing.
+	HedgeBudget float64
+	// HedgeBurst caps the accumulated hedge tokens per vertex (default 8).
+	HedgeBurst float64
+	// HedgeMinObs is the cold-start floor: no hedging against a child
+	// heard fewer than this many times (default 1 — under correlated
+	// burst loss most children are heard exactly once before stalling,
+	// and the deadline floor plus the token budget already keep a thin
+	// gap distribution from stampeding replicas).
+	HedgeMinObs int
+	// HedgeSeed seeds the per-vertex replica-choice RNG streams. The
+	// embedding node derives it from its own seed when left 0, keeping
+	// replica picks byte-deterministic at any engine shard count.
+	HedgeSeed int64
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -123,6 +153,22 @@ type vertexState struct {
 	// cause is the span of the last contribution that changed this
 	// vertex's aggregate — the causal parent of the next upward forward.
 	cause uint64
+
+	// Hedging state (nil / zero unless Config.HedgeQuantile > 0): the
+	// per-child response-time distributions and watch timers, the vertex's
+	// hedge token bucket, and its replica-choice RNG (see hedge.go).
+	hedge      map[ids.ID]*childHedge
+	tokens     float64
+	lastRefill time.Duration
+	hedgeRNG   *rand.Rand
+	issued     int64 // hedges issued by this vertex (trace annotation)
+	// Upward re-assertion ladder (hedging only): a forward that no newer
+	// update supersedes is retransmitted on exponential backoff, so a
+	// subtree whose every forward died in one burst — invisible to the
+	// parent, hence unhedgeable from above — still surfaces long before
+	// the unconditional refresh pass (see hedge.go).
+	reassert  *simnet.Timer
+	reassertN int
 }
 
 func (v *vertexState) aggregate() (agg.Partial, int64) {
@@ -194,12 +240,31 @@ type Engine struct {
 	cRefresh   *obs.Counter   // aggtree_refresh_repairs
 	cResubmit  *obs.Counter   // aggtree_resubmits
 	hDepth     *obs.Histogram // aggtree_entry_depth
+
+	// Hedging counters (see hedge.go).
+	cHedgeIssued     *obs.Counter // aggtree_hedges_issued
+	cHedgeWon        *obs.Counter // aggtree_hedges_won
+	cHedgeWasted     *obs.Counter // aggtree_hedges_wasted
+	cHedgeSuppressed *obs.Counter // aggtree_hedges_suppressed
+	cHedgeAcked      *obs.Counter // aggtree_hedge_acks
+	cHedgeReasserts  *obs.Counter // aggtree_hedge_reasserts
 }
 
 // NewEngine creates an engine for the host.
 func NewEngine(host Host, cfg Config) *Engine {
 	if cfg.B == 0 {
 		cfg.B = 4
+	}
+	if cfg.HedgeQuantile > 0 {
+		if cfg.HedgeBudget <= 0 {
+			cfg.HedgeBudget = 4
+		}
+		if cfg.HedgeBurst <= 0 {
+			cfg.HedgeBurst = 8
+		}
+		if cfg.HedgeMinObs <= 0 {
+			cfg.HedgeMinObs = 1
+		}
 	}
 	o := host.PastryNode().Ring().Obs()
 	return &Engine{
@@ -219,6 +284,13 @@ func NewEngine(host Host, cfg Config) *Engine {
 		cRefresh:   o.Counter("aggtree_refresh_repairs"),
 		cResubmit:  o.Counter("aggtree_resubmits"),
 		hDepth:     o.Histogram("aggtree_entry_depth"),
+
+		cHedgeIssued:     o.Counter("aggtree_hedges_issued"),
+		cHedgeWon:        o.Counter("aggtree_hedges_won"),
+		cHedgeWasted:     o.Counter("aggtree_hedges_wasted"),
+		cHedgeSuppressed: o.Counter("aggtree_hedges_suppressed"),
+		cHedgeAcked:      o.Counter("aggtree_hedge_acks"),
+		cHedgeReasserts:  o.Counter("aggtree_hedge_reasserts"),
 	}
 }
 
@@ -233,6 +305,7 @@ func (e *Engine) Reset() {
 		if v.refresh != nil {
 			v.refresh.Cancel()
 		}
+		e.clearHedge(v)
 	}
 	e.vertices = make(map[vertexKey]*vertexState)
 	e.queries = make(map[ids.ID]*queryInfo)
@@ -281,6 +354,7 @@ func (e *Engine) Cancel(qid ids.ID) {
 			if v.refresh != nil {
 				v.refresh.Cancel()
 			}
+			e.clearHedge(v)
 			delete(e.vertices, key)
 		}
 	}
@@ -346,6 +420,7 @@ func (e *Engine) applyCancel(m *cancelMsg) {
 		if v.refresh != nil {
 			v.refresh.Cancel()
 		}
+		e.clearHedge(v)
 		delete(e.vertices, key)
 		if !v.primary {
 			continue
@@ -427,9 +502,21 @@ type submitMsg struct {
 	// Cause is the span of the sender-side event behind this contribution
 	// (trace metadata; excluded from wire sizes like dissem's).
 	Cause uint64
+	// Backups advertises the sending child vertex's replica endpoints so
+	// the parent can hedge a duplicate pull against one of them when the
+	// child goes quiet. Only populated while hedging is enabled: size (and
+	// so timing) of every message is unchanged when it is off.
+	Backups []simnet.Endpoint
+	// Hedged marks an answer to a hedgePullMsg (served from replicated or
+	// durable leaf state) rather than a child's own forward, so the
+	// receiving vertex can attribute the dedup outcome (won vs wasted)
+	// without affecting how the contribution itself is applied.
+	Hedged bool
 }
 
-func submitMsgSize() int { return 3*ids.Bytes + 8 + agg.EncodedPartialSize + 8 }
+func submitMsgSize(backups int) int {
+	return 3*ids.Bytes + 8 + agg.EncodedPartialSize + 8 + 4*backups
+}
 
 // replMsg replicates a vertex's state to its backups.
 type replMsg struct {
@@ -580,7 +667,7 @@ func (e *Engine) sendSubmission(qid ids.ID, c contribution, cause uint64) {
 		e.applySubmit(msg)
 		return
 	}
-	node.Route(v, msg, submitMsgSize(), simnet.ClassQuery)
+	node.Route(v, msg, submitMsgSize(0), simnet.ClassQuery)
 }
 
 // HandleMessage processes an aggregation message; it reports whether the
@@ -598,6 +685,10 @@ func (e *Engine) HandleMessage(from simnet.Endpoint, payload any) bool {
 		e.host.ResultDelivered(m.QID, m.Part, m.Contributors, span)
 	case *cancelMsg:
 		e.applyCancel(m)
+	case *hedgePullMsg:
+		e.handleHedgePull(m)
+	case *hedgeAckMsg:
+		e.applyHedgeAck(m)
 	default:
 		return false
 	}
@@ -619,10 +710,20 @@ func (e *Engine) applySubmit(m *submitMsg) {
 		e.armRefresh(v)
 	}
 	v.primary = true
+	// Any message from the child — duplicate or not — is liveness
+	// evidence: feed the gap distribution, refill the hedge budget and
+	// restart the watch before dedup decides the contribution's fate.
+	e.observeChild(v, m)
 	cur, exists := v.children[m.Child]
 	if exists && cur.Version >= m.C.Version {
-		// Stale or duplicate: counted at most once.
-		e.cDups.Inc()
+		// Stale or duplicate: counted at most once. A hedged answer losing
+		// the race against the child's own (earlier) forward is the wasted
+		// duplicate the budget paid for.
+		if m.Hedged {
+			e.cHedgeWasted.Inc()
+		} else {
+			e.cDups.Inc()
+		}
 		return
 	}
 	v.children[m.Child] = m.C
@@ -630,11 +731,33 @@ func (e *Engine) applySubmit(m *submitMsg) {
 	// A version advance with identical content is a refresh re-assertion:
 	// record it but do not cascade it any further up the tree.
 	if exists && cur.Part == m.C.Part && cur.Contributors == m.C.Contributors {
+		if m.Hedged {
+			e.cHedgeWasted.Inc()
+		}
 		return
 	}
 	v.dirty = true
+	// Fresh content restarts the upward re-assertion ladder: the coming
+	// forward is a new transmission deserving its own retry protection.
+	v.reassertN = 0
 	if m.Cause != 0 {
 		v.cause = m.Cause
+	}
+	if m.Hedged {
+		// The replica's answer advanced the aggregate before the child's
+		// own forward did (which was lost, or is still in flight and will
+		// dedup on arrival): the hedge won. Chain the upward forward onto
+		// the win so delay decomposition attributes the recovered time.
+		e.cHedgeWon.Inc()
+		// A winning hedge replaced a message the network lost — it added no
+		// load the lost forward would not have — so refund its token and
+		// let the budget throttle wasted pulls only.
+		v.tokens = min(v.tokens+1, e.cfg.HedgeBurst)
+		if won := e.o.EmitSpan(m.Cause, obs.Event{Kind: obs.KindHedgeWon,
+			Query: m.QID.Short(), EP: int(e.host.PastryNode().Endpoint()),
+			N: int64(m.C.Version)}); won != 0 {
+			v.cause = won
+		}
 	}
 	e.replicateDelta(v, m.Child)
 	e.forwardUp(v)
@@ -665,6 +788,7 @@ func (e *Engine) applyRepl(m *replMsg) {
 			if !exists || cur.Part != c.Part || cur.Contributors != c.Contributors {
 				changed = true
 				v.dirty = true
+				v.reassertN = 0
 			}
 		}
 	}
@@ -685,6 +809,12 @@ func (e *Engine) applyRepl(m *replMsg) {
 			e.cTakeovers.Inc()
 			e.o.EmitSpan(v.cause, obs.Event{Kind: obs.KindTakeover, Query: m.QID.Short(),
 				EP: int(e.host.PastryNode().Endpoint())})
+			// A takeover starts with a clean hedge slate: the response-time
+			// distributions the old primary accumulated (and whatever this
+			// node saw in an earlier primary stint) describe children whose
+			// replica groups may have changed across the churn that moved
+			// the role here. Stale quantiles would misfire hedges.
+			e.clearHedge(v)
 		}
 		v.primary = true
 		if changed {
@@ -693,6 +823,9 @@ func (e *Engine) applyRepl(m *replMsg) {
 			e.forwardUp(v)
 		}
 	} else {
+		// Not this node's vertex (anymore): only primaries hedge, so
+		// release the watch timers and distributions.
+		e.clearHedge(v)
 		v.primary = false
 	}
 }
@@ -748,11 +881,22 @@ func (e *Engine) forwardUp(v *vertexState) {
 	msg := &submitMsg{QID: v.key.qid, Vertex: parent, Child: v.key.vertex,
 		C:        contribution{Version: v.upVersion, Part: part, Contributors: contributors},
 		Injector: info.injector, Query: info.query, Cause: v.cause}
+	if e.hedging() {
+		// Advertise this vertex's replica set so the parent can hedge a
+		// duplicate pull against a backup if we go quiet.
+		for _, b := range e.backupSet(v.key.vertex) {
+			msg.Backups = append(msg.Backups, b.EP)
+		}
+	}
 	if node.IsRootOf(parent) {
+		// Local delivery cannot be lost; the ladder applies to the wire.
 		e.applySubmit(msg)
 		return
 	}
-	node.Route(parent, msg, submitMsgSize(), simnet.ClassQuery)
+	node.Route(parent, msg, submitMsgSize(len(msg.Backups)), simnet.ClassQuery)
+	if e.hedging() {
+		e.armReassert(v)
+	}
 }
 
 // backupSet picks the m leafset members closest to the vertexId.
@@ -793,6 +937,7 @@ func (e *Engine) armRefresh(v *vertexState) {
 		if e.expired(e.queries[v.key.qid]) {
 			// The query timed out (or was canceled): reclaim the vertex.
 			v.refresh.Cancel()
+			e.clearHedge(v)
 			delete(e.vertices, v.key)
 			return
 		}
@@ -808,6 +953,13 @@ func (e *Engine) armRefresh(v *vertexState) {
 			// handled by the update and membership-change paths.
 			if v.dirty {
 				e.cRefresh.Inc()
+			}
+			if e.hedging() && tick%3 == 0 {
+				// Hedge pulls read the backups, so the unconditional pass
+				// also re-asserts state to them: a replica whose delta died
+				// in the same burst as the forward it described would
+				// otherwise stay stale until the next membership change.
+				e.replicateState(v)
 			}
 			e.forwardUp(v)
 		}
@@ -830,7 +982,10 @@ func (e *Engine) HandleLeafsetChanged() {
 		switch {
 		case !v.primary && isRoot:
 			// Take over: the previous primary died or the namespace
-			// shifted toward us.
+			// shifted toward us. Hedge state from any earlier primary
+			// stint is stale (children may have new replica groups after
+			// the churn) — start the distributions fresh.
+			e.clearHedge(v)
 			v.primary = true
 			e.cTakeovers.Inc()
 			e.o.EmitSpan(v.cause, obs.Event{Kind: obs.KindTakeover, Query: v.key.qid.Short(),
@@ -842,6 +997,7 @@ func (e *Engine) HandleLeafsetChanged() {
 			// toward the vertexId's current root: if the old primary died
 			// and the new root is not one of its backups, this is the
 			// only path by which the state reaches it.
+			e.clearHedge(v)
 			v.primary = false
 			e.pushStateToRoot(v)
 		default: // primary && isRoot

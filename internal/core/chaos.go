@@ -31,6 +31,9 @@ type ChaosConfig struct {
 	// checker is expected to catch the absence of.
 	DisableDissemBackoff bool
 	DisableAggRepair     bool
+	// DisableHedging turns off tail-tolerant duplicate pulls at interior
+	// aggregation vertices (the straggler scenario's ablation tooth).
+	DisableHedging bool
 
 	// TraceSink, when set, additionally receives every trace event (the
 	// invariant checker always sees them).
@@ -56,7 +59,7 @@ func alwaysUpTrace(n int, horizon time.Duration) *avail.Trace {
 func chaosInjectorEndpoint(c *Cluster, s fault.Scenario) simnet.Endpoint {
 	targeted := make(map[int]bool)
 	for _, in := range s.Injections {
-		if in.Type == fault.Partition || in.Type == fault.Crash {
+		if in.Type == fault.Partition || in.Type == fault.Crash || in.Type == fault.Straggler {
 			targeted[in.Region] = true
 		}
 	}
@@ -118,6 +121,12 @@ func RunChaos(cfg ChaosConfig) *fault.Report {
 	ccfg.Node.Agg.RefreshPeriod = 2 * time.Minute
 	ccfg.Node.Agg.QueryTTL = queryTTL
 	ccfg.Node.Agg.DisableRepair = cfg.DisableAggRepair
+	if !cfg.DisableHedging {
+		// Hedging is on for every chaos scenario (not just straggler): the
+		// duplication and loss windows of the other scenarios exercise the
+		// exactly-once invariant under hedge-induced duplication too.
+		ccfg.Node.Agg.HedgeQuantile = 0.95
+	}
 	ccfg.Node.Dissem.MaxRetries = 6
 	ccfg.Node.Dissem.DisableBackoff = cfg.DisableDissemBackoff
 
@@ -193,12 +202,28 @@ func RunChaos(cfg ChaosConfig) *fault.Report {
 		RowsAtFinalHeal:    float64(rowsAtHeal),
 		FinalRows:          float64(finalRows),
 		RecoveredAfterHeal: rowsAtHeal < truth && finalRows == truth,
+		TimeToComplete:     -1,
 	}
 	if truth > 0 {
 		verdict.CompletenessAtHeal = float64(rowsAtHeal) / float64(truth)
 		verdict.FinalCompleteness = float64(finalRows) / float64(truth)
 	}
+	for _, upd := range h.Results {
+		if upd.Partial.Count == truth {
+			verdict.TimeToComplete = upd.At - s.QueryAt
+			break
+		}
+	}
 	report.Queries = append(report.Queries, verdict)
+
+	report.Hedges = &fault.HedgeStats{
+		Enabled:    !cfg.DisableHedging,
+		Issued:     int64(o.Counter("aggtree_hedges_issued").Value()),
+		Won:        int64(o.Counter("aggtree_hedges_won").Value()),
+		Wasted:     int64(o.Counter("aggtree_hedges_wasted").Value()),
+		Suppressed: int64(o.Counter("aggtree_hedges_suppressed").Value()),
+		NetSends:   int64(o.Counter("net_sends").Value()),
+	}
 
 	checker.Check(fault.InvariantCompleteness, finalRows == truth,
 		fmt.Sprintf("%d/%d rows %s after final heal + %s settle",

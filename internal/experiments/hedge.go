@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/runner"
+)
+
+// HedgePair is one paired-seed comparison of the straggler chaos scenario:
+// the identical (scenario, seed) run twice, with interior-vertex hedging on
+// and ablated. The pairing isolates the hedging policy — everything else
+// about the two runs is the same configuration (hedge traffic does shift
+// the per-message loss draws, so the comparison is statistical across
+// seeds, not message-for-message).
+type HedgePair struct {
+	Seed int64 `json:"seed"`
+	// Time from query injection to the first 100%-complete result, -1 if
+	// the run never completed (it still must pass eventual completeness).
+	HedgedComplete  time.Duration `json:"hedged_complete_ns"`
+	AblatedComplete time.Duration `json:"ablated_complete_ns"`
+	HedgedSends     int64         `json:"hedged_net_sends"`
+	AblatedSends    int64         `json:"ablated_net_sends"`
+	Issued          int64         `json:"hedges_issued"`
+	Won             int64         `json:"hedges_won"`
+	Wasted          int64         `json:"hedges_wasted"`
+	Suppressed      int64         `json:"hedges_suppressed"`
+	HedgedOK        bool          `json:"hedged_ok"`
+	AblatedOK       bool          `json:"ablated_ok"`
+	// RowsEqual: both runs converged to the same final row count (they
+	// share ground truth, so this is exactly-once agreeing across modes).
+	RowsEqual bool `json:"final_rows_equal"`
+}
+
+// HedgeStudyResult aggregates the paired runs into the numbers the
+// acceptance gate checks: tail completion time (hedged must strictly beat
+// ablated at p99) and message overhead (at most a few percent extra).
+type HedgeStudyResult struct {
+	Smoke       bool          `json:"smoke"`
+	Pairs       []HedgePair   `json:"pairs"`
+	HedgedP99   time.Duration `json:"hedged_p99_complete_ns"`
+	AblatedP99  time.Duration `json:"ablated_p99_complete_ns"`
+	SendsRatio  float64       `json:"hedged_to_ablated_sends_ratio"`
+	TotalIssued int64         `json:"total_hedges_issued"`
+	TotalWon    int64         `json:"total_hedges_won"`
+}
+
+// HedgeStudy runs the straggler scenario (per-region slow cohorts layered
+// with a correlated burst-loss episode and a duplication window) once per
+// seed with hedging on and once with it ablated. Pairs fan out across
+// workers through the deterministic engine; the result is identical at any
+// worker count.
+func HedgeStudy(seeds []int64, smoke bool, workers int) *HedgeStudyResult {
+	scen, ok := fault.Builtin("straggler", smoke)
+	if !ok {
+		panic("straggler scenario missing")
+	}
+	one := func(seed int64, ablate bool) *fault.Report {
+		cfg := core.ChaosConfig{Scenario: scen, Seed: seed, DisableHedging: ablate}
+		if smoke {
+			cfg.N = 60
+			cfg.Settle = 5 * time.Minute
+		}
+		return core.RunChaos(cfg)
+	}
+	specs := make([]runner.Spec, 0, 2*len(seeds))
+	for _, seed := range seeds {
+		seed := seed
+		for _, ablate := range []bool{false, true} {
+			ablate := ablate
+			specs = append(specs, runner.Spec{
+				Name: fmt.Sprintf("hedge/%d/ablate=%v", seed, ablate),
+				Run:  func(runner.RunContext) (any, error) { return one(seed, ablate), nil },
+			})
+		}
+	}
+	rep, err := runner.Execute(context.Background(),
+		runner.Config{Workers: workers, Seed: 0}, specs)
+	if err != nil {
+		panic(err)
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		panic(ferr)
+	}
+
+	out := &HedgeStudyResult{Smoke: smoke}
+	var hedgedSends, ablatedSends int64
+	for i, seed := range seeds {
+		h := rep.Results[2*i].Value.(*fault.Report)
+		a := rep.Results[2*i+1].Value.(*fault.Report)
+		p := HedgePair{
+			Seed:            seed,
+			HedgedComplete:  h.Queries[0].TimeToComplete,
+			AblatedComplete: a.Queries[0].TimeToComplete,
+			HedgedSends:     h.Hedges.NetSends,
+			AblatedSends:    a.Hedges.NetSends,
+			Issued:          h.Hedges.Issued,
+			Won:             h.Hedges.Won,
+			Wasted:          h.Hedges.Wasted,
+			Suppressed:      h.Hedges.Suppressed,
+			HedgedOK:        h.OK(),
+			AblatedOK:       a.OK(),
+			RowsEqual:       h.Queries[0].FinalRows == a.Queries[0].FinalRows,
+		}
+		out.Pairs = append(out.Pairs, p)
+		hedgedSends += p.HedgedSends
+		ablatedSends += p.AblatedSends
+		out.TotalIssued += p.Issued
+		out.TotalWon += p.Won
+	}
+	out.HedgedP99 = completionQuantile(out.Pairs, 0.99, false)
+	out.AblatedP99 = completionQuantile(out.Pairs, 0.99, true)
+	if ablatedSends > 0 {
+		out.SendsRatio = float64(hedgedSends) / float64(ablatedSends)
+	}
+	return out
+}
+
+// completionQuantile ranks the per-seed completion times and returns the
+// q-quantile (nearest-rank). A run that never reached 100% before the end
+// of measurement (-1) ranks above every finite time.
+func completionQuantile(pairs []HedgePair, q float64, ablated bool) time.Duration {
+	ts := make([]time.Duration, 0, len(pairs))
+	for _, p := range pairs {
+		t := p.HedgedComplete
+		if ablated {
+			t = p.AblatedComplete
+		}
+		if t < 0 {
+			t = time.Duration(1<<63 - 1)
+		}
+		ts = append(ts, t)
+	}
+	if len(ts) == 0 {
+		return 0
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	idx := int(q*float64(len(ts))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ts) {
+		idx = len(ts) - 1
+	}
+	return ts[idx]
+}
+
+// Render writes the paired table and the aggregate verdict line.
+func (r *HedgeStudyResult) Render(w io.Writer) {
+	header(w, "Hedged interior vertices: straggler + burst loss, paired seeds",
+		"seed", "hedged_complete", "ablated_complete", "issued", "won", "wasted", "sends_ratio")
+	for _, p := range r.Pairs {
+		ratio := 0.0
+		if p.AblatedSends > 0 {
+			ratio = float64(p.HedgedSends) / float64(p.AblatedSends)
+		}
+		row(w, p.Seed, fmtCompletion(p.HedgedComplete), fmtCompletion(p.AblatedComplete),
+			p.Issued, p.Won, p.Wasted, ratio)
+	}
+	fmt.Fprintf(w, "# p99 completion: hedged %s vs ablated %s; sends ratio %.3f; %d issued, %d won\n",
+		fmtCompletion(r.HedgedP99), fmtCompletion(r.AblatedP99), r.SendsRatio,
+		r.TotalIssued, r.TotalWon)
+}
+
+func fmtCompletion(d time.Duration) string {
+	if d < 0 {
+		return "never"
+	}
+	return d.Round(100 * time.Millisecond).String()
+}

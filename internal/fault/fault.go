@@ -5,9 +5,10 @@
 // to a router in the failed region is cut off from the rest, intra-region
 // traffic flows), a Gilbert-Elliott burst-loss channel alongside the
 // existing Bernoulli loss, per-message latency jitter, transient delay
-// spikes, message duplication, and correlated crash/restart cohorts (all
-// endsystems attached to one region) layered on top of the availability
-// trace.
+// spikes, message duplication, per-region straggler cohorts (a fixed extra
+// delay on every message touching the slow region), and correlated
+// crash/restart cohorts (all endsystems attached to one region) layered on
+// top of the availability trace.
 //
 // Determinism: every random draw comes from SplitMix64-derived streams of
 // the scenario seed (one per fault type, reusing runner.SplitSeed), all
@@ -54,6 +55,12 @@ const (
 	// Crash takes every endsystem of one region down at once and
 	// restarts the cohort when the injection heals.
 	Crash Type = "crash"
+	// Straggler slows one region down: every message into or out of the
+	// region picks up a fixed extra delay (a slow cohort — overloaded
+	// hosts, a congested uplink — rather than a dead one). Deliberately
+	// RNG-free so activating a straggler perturbs no loss or jitter
+	// stream.
+	Straggler Type = "straggler"
 )
 
 // Injection is one scheduled fault: activate at At, heal Duration later
@@ -63,7 +70,8 @@ type Injection struct {
 	At       time.Duration `json:"at"`
 	Duration time.Duration `json:"duration"`
 
-	// Region targets Partition and Crash (see simnet.Topology.Region).
+	// Region targets Partition, Crash and Straggler (see
+	// simnet.Topology.Region).
 	Region int `json:"region,omitempty"`
 
 	// Gilbert-Elliott channel (BurstLoss).
@@ -78,6 +86,9 @@ type Injection struct {
 	SpikeDelay time.Duration `json:"spike_delay,omitempty"`
 	// DupProb is the duplication probability (Duplicate).
 	DupProb float64 `json:"dup_prob,omitempty"`
+	// SlowDelay is the fixed extra delay on every message crossing into
+	// or out of the slowed region (Straggler).
+	SlowDelay time.Duration `json:"slow_delay,omitempty"`
 }
 
 // Heal returns the virtual time the injection heals, or -1 if it never
@@ -145,11 +156,16 @@ type Injector struct {
 	jitters map[int]time.Duration
 	spikes  map[int]time.Duration
 	dups    map[int]float64
+	slows   map[int]Injection // active Straggler injections by index
 	// Aggregates recomputed on activation/heal so the per-message path
 	// never iterates a map (map order would perturb rng draw order).
 	maxJitter time.Duration
 	sumSpike  time.Duration
 	maxDup    float64
+	// slowRegion holds, per region, the max active straggler delay
+	// (keyed lookups only on the per-message path — deterministic, and
+	// no RNG stream is consumed).
+	slowRegion map[int]time.Duration
 
 	// crashFn, when set, takes one endsystem down (down=true) or back up.
 	// The chaos harness wires it to core.Node GoDown/GoUp.
@@ -183,10 +199,12 @@ func NewInjector(net *simnet.Network, scenario Scenario, seed int64) *Injector {
 		rngGE:     rand.New(rand.NewSource(runner.SplitSeed(seed, streamGE))),
 		rngJitter: rand.New(rand.NewSource(runner.SplitSeed(seed, streamJitter))),
 		rngDup:    rand.New(rand.NewSource(runner.SplitSeed(seed, streamDup))),
-		cut:       make(map[int]bool),
-		jitters:   make(map[int]time.Duration),
-		spikes:    make(map[int]time.Duration),
-		dups:      make(map[int]float64),
+		cut:        make(map[int]bool),
+		jitters:    make(map[int]time.Duration),
+		spikes:     make(map[int]time.Duration),
+		dups:       make(map[int]float64),
+		slows:      make(map[int]Injection),
+		slowRegion: make(map[int]time.Duration),
 		report:    Report{Scenario: scenario.Name, Seed: seed},
 		o:         o,
 		cDrops:    o.Counter("fault_drops"),
@@ -293,6 +311,14 @@ func (inj *Injector) OnSend(from, to simnet.Endpoint, fromRouter, toRouter int, 
 		fate.ExtraDelay += time.Duration(inj.rngJitter.Float64() * float64(inj.maxJitter))
 	}
 	fate.ExtraDelay += inj.sumSpike
+	if len(inj.slowRegion) > 0 {
+		// A message is as slow as the slowest region it touches.
+		fr := inj.slowRegion[inj.topo.Region(fromRouter)]
+		if tr := inj.slowRegion[inj.topo.Region(toRouter)]; tr > fr {
+			fr = tr
+		}
+		fate.ExtraDelay += fr
+	}
 	if inj.maxDup > 0 && inj.rngDup.Float64() < inj.maxDup {
 		inj.cDups.Inc()
 		fate.Duplicate = true
@@ -329,6 +355,11 @@ func (inj *Injector) activate(i int) {
 		inj.dups[i] = in.DupProb
 		inj.recomputeDelays()
 		inj.o.Emit(obs.Event{Kind: obs.KindFaultDup, EP: -1, N: int64(i), V: in.DupProb})
+	case Straggler:
+		rec.Region = in.Region
+		inj.slows[i] = in
+		inj.recomputeDelays()
+		inj.o.Emit(obs.Event{Kind: obs.KindFaultStraggle, EP: -1, N: int64(i), V: float64(in.Region)})
 	case Crash:
 		rec.Region = in.Region
 		for _, ep := range inj.EndpointsInRegion(in.Region) {
@@ -370,6 +401,9 @@ func (inj *Injector) heal(i int) {
 		inj.recomputeDelays()
 	case Duplicate:
 		delete(inj.dups, i)
+		inj.recomputeDelays()
+	case Straggler:
+		delete(inj.slows, i)
 		inj.recomputeDelays()
 	case Crash:
 		for _, ep := range inj.EndpointsInRegion(in.Region) {
@@ -422,6 +456,12 @@ func (inj *Injector) recomputeDelays() {
 	for _, p := range inj.dups {
 		if p > inj.maxDup {
 			inj.maxDup = p
+		}
+	}
+	inj.slowRegion = make(map[int]time.Duration)
+	for _, in := range inj.slows {
+		if in.SlowDelay > inj.slowRegion[in.Region] {
+			inj.slowRegion[in.Region] = in.SlowDelay
 		}
 	}
 }

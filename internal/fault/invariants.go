@@ -88,8 +88,8 @@ func (c *Checker) ObserveEvent(ev obs.Event) {
 	c.recorder.Record(ev)
 	switch ev.Kind {
 	case obs.KindFaultPartition, obs.KindFaultBurst, obs.KindFaultJitter,
-		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultCrash,
-		obs.KindFaultRestart, obs.KindFaultHeal,
+		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultStraggle,
+		obs.KindFaultCrash, obs.KindFaultRestart, obs.KindFaultHeal,
 		obs.KindDissemGiveup,
 		// Cancels are counted so completeness-style invariants can tell an
 		// explicitly abandoned query from one that failed to finish.
@@ -173,6 +173,8 @@ func (c *Checker) VerifyTraceVisibility(r *Report) bool {
 			expect[obs.KindFaultSpike]++
 		case Duplicate:
 			expect[obs.KindFaultDup]++
+		case Straggler:
+			expect[obs.KindFaultStraggle]++
 		case Crash:
 			expect[obs.KindFaultCrash] += in.Endpoints
 		}
@@ -181,7 +183,8 @@ func (c *Checker) VerifyTraceVisibility(r *Report) bool {
 	detail := fmt.Sprintf("%d injections traced", len(r.Injections))
 	for _, kind := range []obs.Kind{
 		obs.KindFaultPartition, obs.KindFaultBurst, obs.KindFaultJitter,
-		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultCrash,
+		obs.KindFaultSpike, obs.KindFaultDup, obs.KindFaultStraggle,
+		obs.KindFaultCrash,
 	} {
 		if c.seen[kind] < expect[kind] {
 			ok = false

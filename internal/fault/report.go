@@ -44,6 +44,24 @@ type QueryVerdict struct {
 	CompletenessAtHeal float64 `json:"completeness_at_heal"`
 	FinalCompleteness  float64 `json:"final_completeness"`
 	RecoveredAfterHeal bool    `json:"recovered_after_heal"`
+	// TimeToComplete is how long after injection the query first reached
+	// 100% of ground truth (-1 if it never did) — the tail-latency metric
+	// the straggler scenario's hedging ablation is judged on.
+	TimeToComplete time.Duration `json:"time_to_complete"`
+}
+
+// HedgeStats summarizes the hedging machinery's activity over a run:
+// duplicate pulls issued against slow children, how many beat (won) or
+// lost (wasted) the race with the primary's answer, how many were
+// suppressed by the budget, and total network sends (for the extra-load
+// accounting of hedged vs. ablated runs).
+type HedgeStats struct {
+	Enabled    bool  `json:"enabled"`
+	Issued     int64 `json:"issued"`
+	Won        int64 `json:"won"`
+	Wasted     int64 `json:"wasted"`
+	Suppressed int64 `json:"suppressed"`
+	NetSends   int64 `json:"net_sends"`
 }
 
 // Report is the deterministic artifact of one chaos run: what was
@@ -55,6 +73,7 @@ type Report struct {
 	Seed       int64              `json:"seed"`
 	Injections []InjectionRecord  `json:"injections"`
 	Queries    []QueryVerdict     `json:"queries,omitempty"`
+	Hedges     *HedgeStats        `json:"hedges,omitempty"`
 	Invariants []InvariantVerdict `json:"invariants,omitempty"`
 	Violations []Violation        `json:"violations,omitempty"`
 	// FlightRecorder is the checker's bounded ring of the most recent
@@ -114,8 +133,19 @@ func (r *Report) WriteText(w io.Writer) {
 			if q.RecoveredAfterHeal {
 				fmt.Fprintf(w, " (recovered after heal)")
 			}
+			if q.TimeToComplete >= 0 {
+				fmt.Fprintf(w, ", complete %s after injection", q.TimeToComplete)
+			}
 			fmt.Fprintln(w)
 		}
+	}
+	if r.Hedges != nil {
+		state := "off"
+		if r.Hedges.Enabled {
+			state = "on"
+		}
+		fmt.Fprintf(w, "\nhedging %s: %d issued, %d won, %d wasted, %d suppressed (%d network sends)\n",
+			state, r.Hedges.Issued, r.Hedges.Won, r.Hedges.Wasted, r.Hedges.Suppressed, r.Hedges.NetSends)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Fprintf(w, "\ninvariants:\n")

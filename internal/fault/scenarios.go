@@ -12,7 +12,7 @@ import "time"
 
 // BuiltinNames lists the built-in scenario names.
 func BuiltinNames() []string {
-	return []string{"partition", "burstloss", "flap", "mixed"}
+	return []string{"partition", "burstloss", "flap", "mixed", "straggler"}
 }
 
 // Builtin returns a built-in scenario by name (smoke selects the
@@ -69,6 +69,37 @@ func Builtin(name string, smoke bool) (Scenario, bool) {
 				{Type: Crash, At: 8 * time.Minute, Duration: 2 * time.Minute, Region: 2},
 				{Type: Partition, At: 10 * time.Minute, Duration: 90 * time.Second, Region: 1},
 				{Type: Crash, At: 11*time.Minute + 30*time.Second, Duration: 2 * time.Minute, Region: 2},
+			},
+		}, true
+
+	case "straggler":
+		// Two regional slow cohorts (overlapping, different severities) with
+		// a burst-loss channel and light duplication layered on top: the
+		// tail-tolerance gauntlet. Hedged aggregation should ride out the
+		// slow cohorts by pulling from replicas; exactly-once must hold while
+		// the duplication window doubles both organic and hedged traffic.
+		if smoke {
+			return Scenario{
+				Name:    "straggler-smoke",
+				QueryAt: 4*time.Minute + 20*time.Second,
+				Injections: []Injection{
+					{Type: Straggler, At: 4 * time.Minute, Duration: 4 * time.Minute, Region: 2, SlowDelay: 1500 * time.Millisecond},
+					{Type: Straggler, At: 4*time.Minute + 10*time.Second, Duration: 3 * time.Minute, Region: 4, SlowDelay: time.Second},
+					{Type: BurstLoss, At: 4 * time.Minute, Duration: 2 * time.Minute,
+						GoodLoss: 0.05, BadLoss: 0.85, MeanGood: 10 * time.Second, MeanBad: 20 * time.Second},
+					{Type: Duplicate, At: 4*time.Minute + 10*time.Second, Duration: 2 * time.Minute, DupProb: 0.05},
+				},
+			}, true
+		}
+		return Scenario{
+			Name:    "straggler",
+			QueryAt: 11 * time.Minute,
+			Injections: []Injection{
+				{Type: Straggler, At: 10 * time.Minute, Duration: 8 * time.Minute, Region: 2, SlowDelay: 2 * time.Second},
+				{Type: Straggler, At: 10*time.Minute + 30*time.Second, Duration: 7 * time.Minute, Region: 4, SlowDelay: 1200 * time.Millisecond},
+				{Type: BurstLoss, At: 10*time.Minute + 30*time.Second, Duration: 4 * time.Minute,
+					GoodLoss: 0.05, BadLoss: 0.9, MeanGood: 20 * time.Second, MeanBad: 30 * time.Second},
+				{Type: Duplicate, At: 11 * time.Minute, Duration: 4 * time.Minute, DupProb: 0.05},
 			},
 		}, true
 

@@ -249,6 +249,19 @@ func WithScale(n int) Option {
 	}
 }
 
+// WithHedging enables tail-tolerant duplicate pulls at interior
+// aggregation-tree vertices (ClusterConfig.Node.Agg.HedgeQuantile): when
+// an awaited child's response is slower than the given quantile of its
+// observed response-gap distribution, the vertex pulls the child's
+// contribution from a replica and the versioned merge keeps whichever
+// answer lands first. 0 (the default) disables hedging; 0.95 is a good
+// starting point.
+func WithHedging(quantile float64) Option {
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Node.Agg.HedgeQuantile = quantile })
+	}
+}
+
 // WithFlowsPerDay sets the mean per-endsystem workload intensity
 // (ClusterConfig.Workload.MeanFlowsPerDay). Default 200.
 func WithFlowsPerDay(n int) Option {
