@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench runner-bench cluster-bench cluster-bench-sharded shard-smoke bench-smoke relq-bench relq-smoke profile sweep-smoke chaos-smoke hedge-smoke hedge-bench workload-smoke trace-smoke qserve-bench obs-bench check clean
+.PHONY: all build vet test race bench runner-bench cluster-bench cluster-bench-sharded shard-smoke bench-smoke relq-bench relq-smoke profile sweep-smoke chaos-smoke hedge-smoke hedge-bench coords-smoke coords-bench workload-smoke trace-smoke qserve-bench obs-bench check clean
 
 all: check
 
@@ -107,6 +107,24 @@ hedge-smoke:
 # tail stops strictly beating the ablation or overhead exceeds 10%.
 hedge-bench:
 	$(GO) test -run '^$$' -bench BenchmarkHedgedAggregation -benchtime=1x .
+
+# coords-smoke is the CI gate for the network-coordinate subsystem: the
+# paired ablation study (coords-biased trees must strictly beat the
+# id-only baseline on fan-in edge p50 and query p50) plus the unit suite
+# (Vivaldi convergence, ball-tree vs brute force, frozen scopes) and one
+# end-to-end CLI run of the RTT-scoped query demo, which exits 1 itself
+# if the scoped result diverges from the brute-force oracle.
+coords-smoke:
+	$(GO) test -run TestCoordsSmoke -v ./internal/experiments/
+	$(GO) test -v ./internal/coords/
+	$(GO) run ./cmd/seaweed-sim -coords -rtt-scope 50ms -smoke
+
+# coords-bench runs the full-scale paired coordinate ablation and writes
+# the "coords_fanin" entry of BENCH_cluster.json (fan-in edge p50 and
+# query p50, Vivaldi-biased vs id-only trees). Fails if coords stops
+# strictly beating the baseline on either metric.
+coords-bench:
+	$(GO) test -run '^$$' -bench BenchmarkCoordsFanin -benchtime=1x .
 
 # workload-smoke is the CI query-service gate: the smoke sweep test
 # (byte-determinism at 1 vs 8 engine workers, ablation teeth on

@@ -1,0 +1,70 @@
+// BenchmarkCoordsFanin is the acceptance gate for the network-coordinate
+// subsystem: the full-scale paired ablation (Vivaldi-biased delegate and
+// entry-vertex selection vs the id-only baseline, same traces and seeds,
+// clustered router topology). The benchmark fails — it does not merely
+// report — if the coords runs stop strictly beating the baseline on
+// fan-in edge p50 or query p50; the numbers land in the "coords_fanin"
+// entry of BENCH_cluster.json via `make coords-bench`.
+package seaweed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var coordsBenchSeeds = []int64{1, 2, 3, 4, 5, 6}
+
+type coordsBenchSummary struct {
+	Label          string  `json:"label"`
+	Seeds          []int64 `json:"seeds"`
+	CoordsFaninNS  int64   `json:"coords_fanin_p50_ns"`
+	BaseFaninNS    int64   `json:"baseline_fanin_p50_ns"`
+	FaninSpeedupX  float64 `json:"fanin_p50_speedup_x"`
+	CoordsQueryNS  int64   `json:"coords_query_p50_ns"`
+	BaseQueryNS    int64   `json:"baseline_query_p50_ns"`
+	QuerySpeedupX  float64 `json:"query_p50_speedup_x"`
+	MeanVivaldiErr float64 `json:"coords_mean_rel_error"`
+	EntryEdges     int     `json:"entry_edges_per_mode"`
+	Queries        int     `json:"queries_per_mode"`
+}
+
+func BenchmarkCoordsFanin(b *testing.B) {
+	var r *experiments.CoordsStudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.CoordsStudy(coordsBenchSeeds, false, 0)
+	}
+	if r.EntryEdges == 0 || r.Queries == 0 {
+		b.Fatalf("study measured nothing: %d entry edges, %d queries", r.EntryEdges, r.Queries)
+	}
+	if r.CoordsFaninP50 >= r.BaseFaninP50 {
+		b.Fatalf("coords fan-in edge p50 %v does not strictly beat id-only %v",
+			r.CoordsFaninP50, r.BaseFaninP50)
+	}
+	if r.CoordsQueryP50 >= r.BaseQueryP50 {
+		b.Fatalf("coords query p50 %v does not strictly beat id-only %v",
+			r.CoordsQueryP50, r.BaseQueryP50)
+	}
+	b.ReportMetric(float64(r.CoordsFaninP50)/float64(time.Millisecond), "coords-fanin-p50-ms")
+	b.ReportMetric(float64(r.BaseFaninP50)/float64(time.Millisecond), "baseline-fanin-p50-ms")
+	b.ReportMetric(float64(r.CoordsQueryP50)/float64(time.Millisecond), "coords-query-p50-ms")
+	b.ReportMetric(float64(r.BaseQueryP50)/float64(time.Millisecond), "baseline-query-p50-ms")
+
+	sum := coordsBenchSummary{
+		Label:          "fan-in edge and query p50, Vivaldi coords vs id-only trees",
+		Seeds:          coordsBenchSeeds,
+		CoordsFaninNS:  int64(r.CoordsFaninP50),
+		BaseFaninNS:    int64(r.BaseFaninP50),
+		FaninSpeedupX:  float64(r.BaseFaninP50) / float64(r.CoordsFaninP50),
+		CoordsQueryNS:  int64(r.CoordsQueryP50),
+		BaseQueryNS:    int64(r.BaseQueryP50),
+		QuerySpeedupX:  float64(r.BaseQueryP50) / float64(r.CoordsQueryP50),
+		MeanVivaldiErr: r.MeanCoordErr,
+		EntryEdges:     r.EntryEdges,
+		Queries:        r.Queries,
+	}
+	if err := writeBenchEntry("coords_fanin", sum); err != nil {
+		b.Logf("BENCH_cluster.json not written: %v", err)
+	}
+}

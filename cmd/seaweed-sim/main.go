@@ -22,6 +22,8 @@
 //	seaweed-sim -workload heavy -out BENCH_qserve  # also write BENCH_qserve.json
 //	seaweed-sim -workload spike -qps 400        # spike preset at 400 interactive queries/hour
 //	seaweed-sim -workload heavy -ablate admission  # serve one ablated variant only
+//	seaweed-sim -coords -fig 9a                 # Vivaldi coordinates on inside the run
+//	seaweed-sim -coords -rtt-scope 50ms -smoke  # RTT-scoped query demo + oracle audit
 //
 // -chaos runs a scripted fault scenario (partition, burstloss, flap,
 // mixed, straggler) against an always-on invariant checker and prints the
@@ -48,6 +50,17 @@
 // shared state would pin it back to one worker (-trace, -timeseries,
 // -chaos, -workload) rather than silently degrading. -smoke shrinks
 // every dimension for CI smoke tests.
+//
+// -coords enables the Vivaldi network-coordinate subsystem inside every
+// simulation run: coordinates are maintained from RTT samples on existing
+// protocol traffic and bias delegate and aggregation-entry selection
+// toward nearby peers (byte-deterministic at any -shards value). With
+// -rtt-scope T the invocation instead runs the scoped-query demo — the
+// Figure 9 query restricted to the endsystems within predicted RTT T of
+// the injector — and audits the converged result against a brute-force
+// oracle over the frozen coordinate snapshot; exit status 1 on any
+// mismatch. -rtt-scope without -coords is refused rather than silently
+// running unscoped.
 //
 // The trace file is JSONL, one query-lifecycle event per line, with
 // causal span links; summarize it with `seaweed-trace -query t.jsonl` or
@@ -88,6 +101,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine workers for independent runs (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine workers inside each simulation run: 0 = classic serial wheel, >=1 = region-sharded engine (byte-identical results at any value >= 1); orthogonal to -parallel, which fans whole runs; incompatible with -trace, -timeseries, -chaos and -workload")
 	smoke := flag.Bool("smoke", false, "shrink every dimension for a fast smoke run")
+	coordsOn := flag.Bool("coords", false, "enable the Vivaldi network-coordinate subsystem inside each simulation run (latency-biased delegate and aggregation-entry selection; required by -rtt-scope)")
+	rttScope := flag.Duration("rtt-scope", 0, "run the RTT-scoped query demo: inject the Figure 9 query restricted to the endsystems within this predicted RTT of the injector and audit the result against the brute-force oracle; requires -coords")
 	benchPath := flag.String("bench", "", "write the engine perf summary (BENCH_runner.json) to this path")
 	outPrefix := flag.String("out", "", "write sweep records to <out>.jsonl and <out>.csv")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -129,6 +144,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *rttScope < 0 {
+		fmt.Fprintln(os.Stderr, "seaweed-sim: -rtt-scope must be a positive duration")
+		os.Exit(2)
+	}
+	if *rttScope > 0 && !*coordsOn {
+		// An RTT scope is meaningless without the coordinate space that
+		// defines it: refuse the combination outright rather than silently
+		// running the query unscoped.
+		fmt.Fprintln(os.Stderr, "seaweed-sim: -rtt-scope requires -coords (scope membership is defined over the Vivaldi coordinate space); add -coords or drop -rtt-scope")
+		os.Exit(2)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -156,6 +182,7 @@ func main() {
 	s.Seed = *seed
 	s.Workers = *parallel
 	s.Shards = *shards
+	s.Coords = *coordsOn
 	s.ProfileDir = *profileRuns
 	stats := &runner.Stats{}
 	s.RunnerStats = stats
@@ -418,6 +445,14 @@ func main() {
 		ok := runWorkload(*workload)
 		finish()
 		if !ok {
+			os.Exit(1)
+		}
+		return
+	case *rttScope > 0:
+		res := experiments.RTTScopeDemo(s, *rttScope)
+		res.Render(w)
+		finish()
+		if !res.OK() {
 			os.Exit(1)
 		}
 		return

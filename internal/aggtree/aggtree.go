@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/coords"
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -95,6 +96,16 @@ type Config struct {
 	// embedding node derives it from its own seed when left 0, keeping
 	// replica picks byte-deterministic at any engine shard count.
 	HedgeSeed int64
+
+	// Coords, when non-nil, biases entry-vertex selection by latency:
+	// instead of always entering the tree at the deepest V-chain vertex it
+	// is not the root of, an endsystem enters at the chain vertex whose
+	// current primary has the lowest predicted RTT. The candidate set is
+	// exactly the remaining V-chain (id-valid by construction, so tree
+	// convergence and the exactly-once child tables are untouched); ties
+	// break toward the deepest vertex, which is the id-only default. Nil
+	// preserves the baseline byte-for-byte.
+	Coords *coords.Space
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -240,6 +251,7 @@ type Engine struct {
 	cRefresh   *obs.Counter   // aggtree_refresh_repairs
 	cResubmit  *obs.Counter   // aggtree_resubmits
 	hDepth     *obs.Histogram // aggtree_entry_depth
+	hFanin     *obs.Histogram // aggtree_fanin_delay_ns: routed submit latency
 
 	// Hedging counters (see hedge.go).
 	cHedgeIssued     *obs.Counter // aggtree_hedges_issued
@@ -284,6 +296,7 @@ func NewEngine(host Host, cfg Config) *Engine {
 		cRefresh:   o.Counter("aggtree_refresh_repairs"),
 		cResubmit:  o.Counter("aggtree_resubmits"),
 		hDepth:     o.Histogram("aggtree_entry_depth"),
+		hFanin:     o.DurationHistogram("aggtree_fanin_delay_ns"),
 
 		cHedgeIssued:     o.Counter("aggtree_hedges_issued"),
 		cHedgeWon:        o.Counter("aggtree_hedges_won"),
@@ -486,6 +499,15 @@ func (e *Engine) Injector(qid ids.ID) (simnet.Endpoint, bool) {
 	return info.injector, true
 }
 
+// EntryVertex returns the vertexId this endsystem persisted as its entry
+// point into qid's aggregation tree, if it has submitted. Experiments use
+// it to score entry-edge quality (predicted vs actual delay to the
+// vertex's primary) without touching protocol state.
+func (e *Engine) EntryVertex(qid ids.ID) (ids.ID, bool) {
+	v, ok := e.entryVertex[qid]
+	return v, ok
+}
+
 // --------------------------------------------------------------- messages
 
 // submitMsg carries a child contribution to a vertex; routed by key, so it
@@ -512,6 +534,12 @@ type submitMsg struct {
 	// receiving vertex can attribute the dedup outcome (won vs wasted)
 	// without affecting how the contribution itself is applied.
 	Hedged bool
+	// SentAt is the virtual send time of a routed submission (zero for
+	// locally applied ones). Like Cause it is in-struct metadata excluded
+	// from wire sizes; the receiving vertex turns it into the
+	// aggtree_fanin_delay_ns observation — the child→vertex fan-in
+	// latency the coordinate bias exists to shrink.
+	SentAt time.Duration
 }
 
 func submitMsgSize(backups int) int {
@@ -654,6 +682,9 @@ func (e *Engine) sendSubmission(qid ids.ID, c contribution, cause uint64) {
 			v = V(qid, v, e.cfg.B)
 			depth++
 		}
+		if e.cfg.Coords != nil {
+			v = e.nearestEntryVertex(qid, v)
+		}
 		e.entryVertex[qid] = v
 		// Entry depth measures how many levels the sparse namespace let this
 		// endsystem skip: tree depth from the leaves' perspective.
@@ -667,7 +698,40 @@ func (e *Engine) sendSubmission(qid ids.ID, c contribution, cause uint64) {
 		e.applySubmit(msg)
 		return
 	}
+	msg.SentAt = node.Sched().Now()
 	node.Route(v, msg, submitMsgSize(0), simnet.ClassQuery)
+}
+
+// nearestEntryVertex walks the V-chain from the id-only entry vertex up
+// to the queryId and returns the chain vertex whose current primary has
+// the lowest predicted RTT from this endsystem. Every chain vertex is an
+// id-valid entry (its subtree contains this endsystem's leaf position);
+// entering higher merely skips levels, which the versioned child tables
+// already tolerate. The comparison is strict and the chain is walked
+// deepest-first, so the id-only default wins ties and the choice is
+// byte-deterministic at any shard count — primaries come from the ring's
+// ground-truth index, which is stable within a scheduling window.
+func (e *Engine) nearestEntryVertex(qid, entry ids.ID) ids.ID {
+	node := e.host.PastryNode()
+	self := node.Endpoint()
+	best := entry
+	var bestRTT time.Duration
+	have := false
+	v := entry
+	digits := ids.DigitsPerID(e.cfg.B)
+	for i := 0; i <= digits; i++ {
+		if root, ok := node.Ring().Root(v); ok {
+			rtt := e.cfg.Coords.PredictRTT(self, root.EP)
+			if !have || rtt < bestRTT {
+				best, bestRTT, have = v, rtt, true
+			}
+		}
+		if v == qid {
+			break
+		}
+		v = V(qid, v, e.cfg.B)
+	}
+	return best
 }
 
 // HandleMessage processes an aggregation message; it reports whether the
@@ -701,6 +765,13 @@ func (e *Engine) applySubmit(m *submitMsg) {
 	e.RegisterQuery(m.QID, m.Query, m.Injector, m.Cause)
 	if e.expired(e.queries[m.QID]) {
 		return
+	}
+	if m.SentAt > 0 {
+		// Routed arrival: record the child→vertex fan-in latency (the
+		// number the latency-aware entry bias is judged on).
+		if d := e.host.PastryNode().Sched().Now() - m.SentAt; d > 0 {
+			e.hFanin.ObserveDuration(d)
+		}
 	}
 	key := vertexKey{qid: m.QID, vertex: m.Vertex}
 	v, ok := e.vertices[key]
@@ -893,6 +964,7 @@ func (e *Engine) forwardUp(v *vertexState) {
 		e.applySubmit(msg)
 		return
 	}
+	msg.SentAt = node.Sched().Now()
 	node.Route(parent, msg, submitMsgSize(len(msg.Backups)), simnet.ClassQuery)
 	if e.hedging() {
 		e.armReassert(v)

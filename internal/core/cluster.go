@@ -7,6 +7,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/anemone"
 	"repro/internal/avail"
+	"repro/internal/coords"
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -53,6 +54,13 @@ type ClusterConfig struct {
 	// degrades to a nil-handle no-op); BenchmarkObsOverhead uses it to
 	// quantify the default-on cost.
 	NoObs bool
+	// Coords configures the Vivaldi network-coordinate subsystem
+	// (internal/coords): per-endsystem coordinates maintained from RTT
+	// samples on existing protocol traffic, latency-biased delegate and
+	// aggregation-entry selection, and RTT-scoped queries
+	// (relq.Query.RTTScope). Disabled by default; the id-only baseline is
+	// byte-identical to before the subsystem existed.
+	Coords coords.Config
 }
 
 // FeedConfig parameterizes live data updates.
@@ -94,6 +102,7 @@ type Cluster struct {
 	Ring  *pastry.Ring
 	Nodes []*Node
 	cfg   ClusterConfig
+	space *coords.Space // nil unless cfg.Coords.Enabled
 
 	cSchedEvents *obs.Counter // sched_events: scheduler events executed
 	seenEvents   uint64       // events already accounted to cSchedEvents
@@ -150,6 +159,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idList := ids.RandomN(rng, n)
+	if cfg.Coords.Enabled {
+		// Build the coordinate space before the nodes: every engine caches
+		// the handle at construction. The id assignment feeds the
+		// RTT-scope index.
+		c.space = coords.NewSpace(net, cfg.Coords)
+		c.space.SetIDs(idList)
+		ring.SetCoords(c.space)
+	}
 	feedPeriod := cfg.Feed.Period
 	if feedPeriod <= 0 {
 		feedPeriod = 15 * time.Minute
@@ -172,6 +189,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		// seeds, and cfg.Seed ^ i<<1 made (seed 0, node 1) and (seed 2,
 		// node 0) share RNG state across runs.
 		nodeCfg.Seed = runner.SplitSeed(cfg.Seed, int64(i))
+		nodeCfg.Dissem.Coords = c.space
+		nodeCfg.Agg.Coords = c.space
 		c.Nodes[i] = NewNode(ring, simnet.Endpoint(i), idList[i], ds.Tables(),
 			&avail.Model{}, nodeCfg)
 		if cfg.Feed.Enabled {
@@ -413,3 +432,35 @@ func (c *Cluster) TrueRelevantRows(q *relq.Query) int64 {
 
 // NumLive returns the number of currently-available endsystems.
 func (c *Cluster) NumLive() int { return c.Ring.NumLive() }
+
+// Coords returns the cluster's network-coordinate space, or nil when the
+// subsystem is disabled.
+func (c *Cluster) Coords() *coords.Space { return c.space }
+
+// TrueRowsInScope is TrueRelevantRows restricted to qid's RTT scope: the
+// exact matching row count over the endsystems inside the scope's frozen
+// coordinate snapshot — the completeness denominator of an RTT-scoped
+// query, brute-forced for oracle checks. Falls back to TrueRelevantRows
+// when the query carries no scope.
+func (c *Cluster) TrueRowsInScope(qid ids.ID, q *relq.Query) int64 {
+	if c.space == nil || !c.space.HasScope(qid) {
+		return c.TrueRelevantRows(q)
+	}
+	now := int64(c.Sched.Now() / time.Second)
+	bound := q.BindNow(now)
+	var total int64
+	for i, n := range c.Nodes {
+		if !c.space.InScope(qid, simnet.Endpoint(i)) {
+			continue
+		}
+		tbl, ok := n.tables[bound.Table]
+		if !ok {
+			continue
+		}
+		cnt, err := tbl.CountMatching(bound, now)
+		if err == nil {
+			total += cnt
+		}
+	}
+	return total
+}

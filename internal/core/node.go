@@ -149,6 +149,13 @@ func (n *Node) Meta() *metadata.Service { return n.meta }
 // Alive reports whether the endsystem is up.
 func (n *Node) Alive() bool { return n.pn.Alive() }
 
+// TreeEntryVertex returns the aggregation-tree vertex this endsystem
+// persisted as its entry point for qid, if it has submitted (for
+// experiments scoring entry-edge quality).
+func (n *Node) TreeEntryVertex(qid ids.ID) (ids.ID, bool) {
+	return n.tree.EntryVertex(qid)
+}
+
 // now returns the current virtual time.
 func (n *Node) now() time.Duration { return n.pn.Sched().Now() }
 
@@ -187,6 +194,15 @@ func (n *Node) executeAndSubmit(qid ids.ID, q *relq.Query, injector simnet.Endpo
 		return
 	}
 	n.executed[qid] = true
+	if q.RTTScope > 0 {
+		// RTT-scoped query: endsystems outside the frozen scope observe the
+		// query (dedup state above) but neither execute nor submit. The
+		// completeness predictor skipped them too, so the scoped result
+		// still converges to 100%.
+		if sp := n.pn.Ring().Coords(); sp != nil && !sp.InScope(qid, n.pn.Endpoint()) {
+			return
+		}
+	}
 	span := n.pn.Ring().Obs().EmitSpan(cause, obs.Event{Kind: kind, Query: qid.Short(),
 		EP: int(n.pn.Endpoint())})
 	if !n.runLocal(qid, q, injector, span) {

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/coords"
 	"repro/internal/ids"
 	"repro/internal/metadata"
 	"repro/internal/obs"
@@ -57,6 +58,14 @@ type Config struct {
 	// the chaos invariant checker can demonstrate that fixed timeouts
 	// lose subranges across outages the backoff schedule survives.
 	DisableBackoff bool
+	// Coords, when non-nil, is the cluster's network-coordinate space.
+	// Initial delegate selection is then biased toward the known candidate
+	// with the lowest predicted RTT inside each subrange (the id-valid
+	// candidate set is unchanged; ties break toward the smaller id so runs
+	// stay byte-identical at any shard count), and RTT-scoped queries
+	// prune subranges whose coordinate bounding balls fall entirely
+	// outside the query radius. Nil preserves the id-only baseline.
+	Coords *coords.Space
 }
 
 // DefaultConfig returns the paper's configuration: 16-ary subdivision.
@@ -116,7 +125,12 @@ type Engine struct {
 	cAbandoned *obs.Counter   // dissem_abandoned
 	cGiveups   *obs.Counter   // dissem_giveups
 	cOnBehalf  *obs.Counter   // dissem_onbehalf_predictions
+	cPruned    *obs.Counter   // rttscope_pruned
 	hPredLat   *obs.Histogram // dissem_predictor_latency_ns
+
+	// cands is a reused scratch buffer for coordinate-biased delegate
+	// candidate enumeration (engines are single-threaded on their shard).
+	cands []pastry.NodeRef
 }
 
 // pendingInject is one injector-side query awaiting its predictor.
@@ -155,8 +169,14 @@ func NewEngine(host Host, cfg Config) *Engine {
 		cAbandoned: o.Counter("dissem_abandoned"),
 		cGiveups:   o.Counter("dissem_giveups"),
 		cOnBehalf:  o.Counter("dissem_onbehalf_predictions"),
+		cPruned:    o.Counter("rttscope_pruned"),
 		hPredLat:   o.DurationHistogram("dissem_predictor_latency_ns"),
 	}
+}
+
+// scoped reports whether q carries an RTT scope the engine can enforce.
+func (e *Engine) scoped(q *relq.Query) bool {
+	return q.RTTScope > 0 && e.cfg.Coords != nil
 }
 
 // Reset clears all per-query state (the endsystem restarted). Stale
@@ -196,6 +216,12 @@ func (e *Engine) Inject(q *relq.Query, cause uint64, onPredictor func(*predictor
 	p := &pendingInject{cb: onPredictor, at: now, query: q}
 	e.waiting[qid] = p
 	e.cInjects.Inc()
+	if e.scoped(q) {
+		// Freeze the RTT scope before the first route: Route can deliver
+		// locally and synchronously, and every later membership or pruning
+		// decision must see the same snapshot.
+		e.cfg.Coords.BeginScope(qid, node.Endpoint(), q.RTTScope)
+	}
 	p.span = e.o.EmitSpan(cause, obs.Event{Kind: obs.KindInject, Query: qid.Short(), EP: int(node.Endpoint())})
 	msg := &startMsg{QueryID: qid, Query: q, Injector: node.Endpoint(), Cause: p.span}
 	node.Route(qid, msg, startMsgSize(q), simnet.ClassQuery)
@@ -249,7 +275,19 @@ type startMsg struct {
 	Cause    uint64
 }
 
-func startMsgSize(q *relq.Query) int { return ids.Bytes + 8 + len(q.Raw) }
+// scopeBytes is the extra wire weight of an RTT-scoped query: the radius
+// and the injector's frozen coordinate (3 floats + height), carried so
+// every delegate evaluates the same membership predicate.
+const scopeBytes = 8 + 4*8
+
+func scopeSize(q *relq.Query) int {
+	if q.RTTScope > 0 {
+		return scopeBytes
+	}
+	return 0
+}
+
+func startMsgSize(q *relq.Query) int { return ids.Bytes + 8 + len(q.Raw) + scopeSize(q) }
 
 // rangeMsg asks the recipient to produce the aggregated predictor for the
 // inclusive namespace range [Lo, Hi].
@@ -262,7 +300,7 @@ type rangeMsg struct {
 	Cause    uint64
 }
 
-func rangeMsgSize(q *relq.Query) int { return 3*ids.Bytes + 8 + len(q.Raw) }
+func rangeMsgSize(q *relq.Query) int { return 3*ids.Bytes + 8 + len(q.Raw) + scopeSize(q) }
 
 // rangeResp carries a subrange's aggregated predictor back to the parent.
 type rangeResp struct {
@@ -415,9 +453,18 @@ func (e *Engine) beginTask(qid ids.ID, q *relq.Query, lo, hi ids.ID, parent, inj
 
 	// Split into arity equal subranges. The one containing self recurses
 	// locally (no message); the rest are routed toward their midpoints.
+	// RTT-scoped queries drop subranges whose coordinate bounding balls
+	// prove no member lies within the radius: nothing in-scope is lost
+	// (the ball test is exact), and the completeness predictor never
+	// expects the pruned endsystems.
 	subs := splitRange(lo, hi, e.cfg.Arity)
+	scoped := e.scoped(q)
 	var selfSub *subrange
 	for _, s := range subs {
+		if scoped && !e.cfg.Coords.RangeInScope(qid, s.lo, s.hi) {
+			e.cPruned.Inc()
+			continue
+		}
 		if self.InRange(s.lo, s.hi) {
 			s.local = true
 			selfSub = s
@@ -474,13 +521,18 @@ func (e *Engine) aloneInRange(lo, hi ids.ID) bool {
 func (e *Engine) contributeLocal(t *task, lo, hi ids.ID) {
 	node := e.host.PastryNode()
 	now := node.Sched().Now()
-	if node.ID().InRange(lo, hi) {
+	scoped := e.scoped(t.query)
+	if node.ID().InRange(lo, hi) &&
+		(!scoped || e.cfg.Coords.InScope(t.key.qid, node.Endpoint())) {
 		t.acc.AddImmediate(e.host.EstimateOwnRows(t.query))
 	}
 	nowSecs := int64(now / time.Second)
 	for _, rec := range e.host.UnavailableInRange(lo, hi) {
 		if rec.Summary == nil || rec.Model == nil {
 			continue
+		}
+		if scoped && !e.cfg.Coords.InScopeID(t.key.qid, rec.Subject) {
+			continue // the unavailable endsystem is outside the RTT scope
 		}
 		rows := rec.Summary.EstimateRows(t.query, nowSecs)
 		if rows <= 0 {
@@ -523,11 +575,45 @@ func (e *Engine) sendSubrange(t *task, s *subrange) {
 	s.timer = sched.After(s.lastTimeout, func() {
 		e.subrangeTimeout(t, s)
 	})
+	// Initial delegate: the id midpoint by default; with coordinates
+	// attached, the lowest-predicted-RTT node this node already knows
+	// inside the subrange (still an id-valid delegate — routing to its id
+	// reaches it or, if it just died, the numerically closest live node,
+	// exactly as the midpoint would). Reissues keep the random retarget:
+	// route diversity around failures matters more than latency there.
 	target := ids.Midpoint(s.lo, s.hi)
 	if s.retries > 0 {
 		target = ids.RandomInRange(e.rng, s.lo, s.hi)
+	} else if e.cfg.Coords != nil {
+		if ref, ok := e.nearestDelegate(s.lo, s.hi); ok {
+			target = ref.ID
+		}
 	}
 	node.Route(target, msg, rangeMsgSize(t.query), simnet.ClassQuery)
+}
+
+// nearestDelegate picks, among the nodes this endsystem's own routing
+// state knows inside [lo, hi], the one with the lowest predicted RTT.
+// Candidates arrive sorted by id and the comparison is strict, so the
+// choice is deterministic (ties go to the smaller id) regardless of shard
+// count. ok is false when nothing in range is known locally.
+func (e *Engine) nearestDelegate(lo, hi ids.ID) (pastry.NodeRef, bool) {
+	node := e.host.PastryNode()
+	e.cands = node.AppendKnownInRange(e.cands[:0], lo, hi)
+	self := node.Endpoint()
+	var best pastry.NodeRef
+	var bestRTT time.Duration
+	found := false
+	for _, c := range e.cands {
+		if c.EP == self {
+			continue
+		}
+		rtt := e.cfg.Coords.PredictRTT(self, c.EP)
+		if !found || rtt < bestRTT {
+			best, bestRTT, found = c, rtt, true
+		}
+	}
+	return best, found
 }
 
 // attemptTimeout returns the response timeout for an attempt (attempt 0 is

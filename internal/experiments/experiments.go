@@ -57,6 +57,11 @@ type Scale struct {
 	// engine, not the model). Orthogonal to Workers, which fans whole
 	// independent runs.
 	Shards int
+	// Coords enables the Vivaldi network-coordinate subsystem inside every
+	// cluster the experiment builds (latency-biased delegate and
+	// aggregation-entry selection; RTT-scoped queries become available).
+	// Off by default: the id-only baseline stays byte-identical.
+	Coords bool
 	// RunnerStats, when non-nil, accumulates engine timing across every
 	// experiment run through it (for the BENCH_runner.json summary).
 	RunnerStats *runner.Stats

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/avail"
+	"repro/internal/coords"
 	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/relq"
@@ -31,6 +32,9 @@ func runPacket(s Scale, trace *avail.Trace, seed int64) *packetRun {
 	cfg.Shards = s.Shards
 	cfg.Workload.MeanFlowsPerDay = s.FlowsPerDay
 	cfg.Obs, cfg.NoObs = s.Obs, s.NoObs
+	if s.Coords {
+		cfg.Coords = coords.Enabled()
+	}
 	// The paper lets the Figure 9 query run to the end of the simulation
 	// (weeks), so the default 48 h query TTL is disabled here.
 	cfg.Node.Agg.QueryTTL = 0

@@ -83,6 +83,50 @@ func (n *Node) Leafset() []NodeRef {
 	return out
 }
 
+// AppendKnownInRange appends the nodes this node's own routing state —
+// leafset plus already-materialized routing-table rows — knows inside the
+// inclusive linear id range [lo, hi], deduplicated and sorted by id, and
+// returns the extended slice. It never forces lazy table materialization
+// (which would draw from the shard rng and perturb baseline determinism);
+// an empty result just means the caller falls back to id arithmetic.
+func (n *Node) AppendKnownInRange(dst []NodeRef, lo, hi ids.ID) []NodeRef {
+	start := len(dst)
+	for _, m := range n.leaf {
+		if m.ID.InRange(lo, hi) {
+			dst = append(dst, m)
+		}
+	}
+	if n.rowsReady {
+		for _, row := range n.rows {
+			if row == nil {
+				continue
+			}
+			for d := range row {
+				if e := &row[d]; e.ok && e.ID.InRange(lo, hi) {
+					dst = append(dst, e.NodeRef)
+				}
+			}
+		}
+	}
+	out := dst[start:]
+	slices.SortFunc(out, func(a, b NodeRef) int { return a.ID.Cmp(b.ID) })
+	dst = dst[:start+dedupRefs(out)]
+	return dst
+}
+
+// dedupRefs compacts a sorted NodeRef slice in place, returning the new
+// length.
+func dedupRefs(refs []NodeRef) int {
+	w := 0
+	for i := range refs {
+		if i == 0 || refs[i].ID != refs[i-1].ID {
+			refs[w] = refs[i]
+			w++
+		}
+	}
+	return w
+}
+
 // ReplicaSet returns the k leafset members numerically closest to the
 // node's own id — the metadata replica set of Seaweed §3.2.
 func (n *Node) ReplicaSet(k int) []NodeRef {
@@ -335,7 +379,7 @@ func (n *Node) forward(env *routeEnvelope, origin simnet.Endpoint) {
 		})
 		return
 	}
-	n.ring.net.Send(n.ep, next.EP, size, env.Class, n.ring.getHop(n.shard, env, origin, n.Ref()))
+	n.ring.net.Send(n.ep, next.EP, size, env.Class, n.ring.getHop(n.shard, env, origin, n.Ref(), n.sched.Now()))
 }
 
 // hopMsg is the per-hop wrapper carrying an envelope between nodes. The
@@ -346,6 +390,12 @@ type hopMsg struct {
 	Env    *routeEnvelope
 	Origin simnet.Endpoint
 	Sender NodeRef
+	// SentAt is the hop's virtual send time. Like a trace Cause it is
+	// in-struct metadata excluded from wire sizes: a real implementation
+	// piggybacks the few timestamp/coordinate bytes into headers it
+	// already pays for. The receiver turns now−SentAt into the RTT sample
+	// feeding the pastry_hop_rtt histogram and the coordinate space.
+	SentAt time.Duration
 	next   *hopMsg // per-shard free list
 }
 
@@ -470,8 +520,16 @@ func (n *Node) HandleMessage(from simnet.Endpoint, payload any) {
 	}
 	switch m := payload.(type) {
 	case *hopMsg:
-		env, origin, sender := m.Env, m.Origin, m.Sender
+		env, origin, sender, sentAt := m.Env, m.Origin, m.Sender, m.SentAt
 		n.ring.putHop(n.shard, m)
+		if d := n.sched.Now() - sentAt; d > 0 {
+			// One-way hop delay doubled into an RTT sample. Fault-injected
+			// extra delay inflates it, exactly as a real probe would see.
+			n.ring.hHopRTT.ObserveDuration(2 * d)
+			if n.ring.coords != nil {
+				n.ring.coords.Observe(n.ep, sender.EP, 2*d)
+			}
+		}
 		n.learn(sender)
 		n.forward(env, origin)
 	case *joinRequest:
@@ -489,7 +547,15 @@ func (n *Node) HandleMessage(from simnet.Endpoint, payload any) {
 	default:
 		// Application-level direct (single-hop) message: deliver with the
 		// node's own id as the key. Seaweed's metadata replication and
-		// aggregation-tree traffic travel this way.
+		// aggregation-tree traffic travel this way. Each receipt also
+		// feeds the coordinate space: the sample is the topology's
+		// deterministic one-way delay doubled — the send/receive delta a
+		// piggybacked timestamp would yield on these single-hop messages.
+		if n.ring.coords != nil && from != n.ep {
+			if d := n.ring.net.Delay(from, n.ep); d > 0 {
+				n.ring.coords.Observe(n.ep, from, 2*d)
+			}
+		}
 		if n.app != nil {
 			n.app.Deliver(n.id, from, payload)
 		}

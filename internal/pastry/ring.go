@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/coords"
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -77,10 +78,18 @@ type Ring struct {
 	// real protocol could not see through.
 	reach func(a, b simnet.Endpoint) bool
 
+	// coords, when non-nil, receives an RTT sample for every message
+	// receipt (hop wrappers carry their virtual send time; direct sends
+	// use the deterministic topology delay the receiver would compute
+	// from a piggybacked timestamp). Set once before the simulation
+	// starts via SetCoords.
+	coords *coords.Space
+
 	// Observability handles, cached once at construction (nil-safe no-ops
 	// when the network has no obs layer attached).
 	o           *obs.Obs
 	hHops       *obs.Histogram // pastry_hops: hops per delivered route
+	hHopRTT     *obs.Histogram // pastry_hop_rtt_ns: per-hop RTT samples
 	cStale      *obs.Counter   // pastry_stale_retries
 	cRepairs    *obs.Counter   // pastry_leafset_repairs
 	cJoins      *obs.Counter   // pastry_joins
@@ -170,8 +179,9 @@ func (r *Ring) putEnv(sh int32, e *routeEnvelope) {
 }
 
 // getHop takes a hopMsg wrapper from shard sh's free list (or allocates
-// one) and fills it for the next hop.
-func (r *Ring) getHop(sh int32, env *routeEnvelope, origin simnet.Endpoint, sender NodeRef) *hopMsg {
+// one) and fills it for the next hop. sentAt is the virtual send time the
+// receiver turns into an RTT sample.
+func (r *Ring) getHop(sh int32, env *routeEnvelope, origin simnet.Endpoint, sender NodeRef, sentAt time.Duration) *hopMsg {
 	s := &r.sh[sh]
 	m := s.hopFree
 	if m == nil {
@@ -179,7 +189,7 @@ func (r *Ring) getHop(sh int32, env *routeEnvelope, origin simnet.Endpoint, send
 	} else {
 		s.hopFree = m.next
 	}
-	m.Env, m.Origin, m.Sender, m.next = env, origin, sender, nil
+	m.Env, m.Origin, m.Sender, m.SentAt, m.next = env, origin, sender, sentAt, nil
 	return m
 }
 
@@ -192,6 +202,15 @@ func (r *Ring) putHop(sh int32, m *hopMsg) {
 	s.hopFree = m
 }
 
+// SetCoords attaches a network-coordinate space: every subsequent hop
+// and direct-message receipt feeds it an RTT sample. Call once, before
+// the simulation runs.
+func (r *Ring) SetCoords(s *coords.Space) { r.coords = s }
+
+// Coords returns the attached coordinate space (nil when the subsystem
+// is disabled).
+func (r *Ring) Coords() *coords.Space { return r.coords }
+
 // NewRing creates an empty ring over the network.
 func NewRing(net *simnet.Network, cfg Config) *Ring {
 	o := net.Obs()
@@ -203,6 +222,7 @@ func NewRing(net *simnet.Network, cfg Config) *Ring {
 
 		o:           o,
 		hHops:       o.Histogram("pastry_hops"),
+		hHopRTT:     o.DurationHistogram("pastry_hop_rtt_ns"),
 		cStale:      o.Counter("pastry_stale_retries"),
 		cRepairs:    o.Counter("pastry_leafset_repairs"),
 		cJoins:      o.Counter("pastry_joins"),

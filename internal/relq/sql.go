@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/agg"
 )
@@ -86,6 +87,14 @@ type Query struct {
 	// easily to support continuous queries in a failure-resilient
 	// manner"). Set programmatically; one-shot queries leave it false.
 	Continuous bool
+	// RTTScope, when positive, restricts the query to the endsystems whose
+	// predicted RTT from the injector — per the network-coordinate space
+	// frozen at injection time — is at most this bound ("endsystems within
+	// T ms of me"). Set programmatically. Requires the coordinate
+	// subsystem (ClusterConfig.Coords / seaweed.WithCoords); with
+	// coordinates disabled the scope is ignored and the query runs
+	// unscoped (seaweed-sim refuses the combination outright).
+	RTTScope time.Duration
 }
 
 // String returns the original query text.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/anemone"
 	"repro/internal/avail"
+	"repro/internal/coords"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/predictor"
@@ -259,6 +260,20 @@ func WithScale(n int) Option {
 func WithHedging(quantile float64) Option {
 	return func(b *builder) {
 		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Node.Agg.HedgeQuantile = quantile })
+	}
+}
+
+// WithCoords enables the Vivaldi network-coordinate subsystem
+// (ClusterConfig.Coords): each endsystem maintains a 3D+height coordinate
+// from RTT samples on existing protocol traffic, dissemination delegates
+// and aggregation entry vertices are chosen by lowest predicted RTT
+// within their id-valid candidate sets, and queries may carry an RTT
+// scope (Query.RTTScope — "endsystems within T ms of me"). Off by
+// default: without it the id-only baseline runs byte-identically to
+// before the subsystem existed.
+func WithCoords() Option {
+	return func(b *builder) {
+		b.mods = append(b.mods, func(cfg *ClusterConfig) { cfg.Coords = coords.Enabled() })
 	}
 }
 
